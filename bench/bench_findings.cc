@@ -1,0 +1,120 @@
+// Regenerates Findings 1–4 and the Section 5/6 root-cause statistics from
+// the study corpus, printing paper-vs-measured for every percentage.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/corpus/study.h"
+
+namespace soft {
+namespace {
+
+void PrintFinding1() {
+  PrintHeader("Finding 1: crash stages (of 230 bugs with backtraces)");
+  const BugStudy::StageStats s = BugStudy::Instance().CountByStage();
+  PrintRow({"Stage", "Count", "Measured", "Paper"}, {14, 8, 10, 10});
+  PrintRow({"execution", std::to_string(s.execute), Pct(s.execute, s.with_backtrace),
+            "70.0%"},
+           {14, 8, 10, 10});
+  PrintRow({"optimization", std::to_string(s.optimize),
+            Pct(s.optimize, s.with_backtrace), "19.6%"},
+           {14, 8, 10, 10});
+  PrintRow({"parsing", std::to_string(s.parse), Pct(s.parse, s.with_backtrace), "10.4%"},
+           {14, 8, 10, 10});
+  std::printf("(%d reports without identifiable backtraces)\n", s.without_backtrace);
+}
+
+void PrintFinding2() {
+  PrintHeader("Finding 2: dominant function types");
+  const auto stats = BugStudy::Instance().FunctionTypeStats();
+  const int total = BugStudy::Instance().TotalOccurrences();
+  std::printf("string:    %d/%d = %s (paper: 117/508 = 23.0%%)\n",
+              stats.at("string").occurrences, total,
+              Pct(stats.at("string").occurrences, total).c_str());
+  std::printf("aggregate: %d/%d = %s (paper: 91/508 = 17.9%%)\n",
+              stats.at("aggregate").occurrences, total,
+              Pct(stats.at("aggregate").occurrences, total).c_str());
+}
+
+void PrintFinding3() {
+  PrintHeader("Finding 3: statements with at most two function expressions");
+  const auto by_count = BugStudy::Instance().CountByExpressionCount();
+  const int at_most_two = by_count.at(1) + by_count.at(2);
+  std::printf("%d/318 = %s (paper: 278/318 = 87.5%%)\n", at_most_two,
+              Pct(at_most_two, 318).c_str());
+}
+
+void PrintFinding4() {
+  PrintHeader("Finding 4: prerequisite statements of the PoCs");
+  const BugStudy::PrereqStats s = BugStudy::Instance().CountByPrereq();
+  PrintRow({"Prerequisite", "Count", "Measured", "Paper"}, {28, 8, 10, 10});
+  PrintRow({"table creation + insertion", std::to_string(s.table_and_data),
+            Pct(s.table_and_data, 318), "47.5%"},
+           {28, 8, 10, 10});
+  PrintRow({"no table needed", std::to_string(s.none), Pct(s.none, 318), "41.5%"},
+           {28, 8, 10, 10});
+  PrintRow({"empty table only", std::to_string(s.empty_table), Pct(s.empty_table, 318),
+            "11.0%"},
+           {28, 8, 10, 10});
+}
+
+void PrintSection5() {
+  PrintHeader("Section 5: root causes of the 318 studied bugs");
+  const BugStudy::CauseStats s = BugStudy::Instance().CountByCause();
+  PrintRow({"Root cause", "Count", "Measured", "Paper"}, {30, 8, 10, 10});
+  PrintRow({"boundary literal values", std::to_string(s.boundary_literal),
+            Pct(s.boundary_literal, 318), "29.5%"},
+           {30, 8, 10, 10});
+  PrintRow({"boundary type castings", std::to_string(s.boundary_cast),
+            Pct(s.boundary_cast, 318), "23.3%"},
+           {30, 8, 10, 10});
+  PrintRow({"boundary nested functions", std::to_string(s.boundary_nested),
+            Pct(s.boundary_nested, 318), "34.6%"},
+           {30, 8, 10, 10});
+  PrintRow({"ALL boundary values", std::to_string(s.boundary_total()),
+            Pct(s.boundary_total(), 318), "87.4%"},
+           {30, 8, 10, 10});
+  PrintRow({"configurations", std::to_string(s.configuration), "-", "8 bugs"},
+           {30, 8, 10, 10});
+  PrintRow({"table definitions", std::to_string(s.table_definition), "-", "24 bugs"},
+           {30, 8, 10, 10});
+  PrintRow({"complex syntax", std::to_string(s.complex_syntax), "-", "8 bugs"},
+           {30, 8, 10, 10});
+}
+
+void PrintSection6() {
+  PrintHeader("Section 6: boundary-literal sub-classes");
+  const BugStudy::LiteralClassStats s = BugStudy::Instance().CountByLiteralClass();
+  std::printf("extreme integers/decimals: %d (%s; paper 10.0%%)\n", s.extreme_numeric,
+              Pct(s.extreme_numeric, 318).c_str());
+  std::printf("empty strings / NULL:      %d (%s; paper 6.6%%)\n", s.empty_or_null,
+              Pct(s.empty_or_null, 318).c_str());
+  std::printf("crafted format strings:    %d (%s; paper 12.9%%)\n", s.crafted_format,
+              Pct(s.crafted_format, 318).c_str());
+}
+
+void BM_AllFindings(benchmark::State& state) {
+  for (auto _ : state) {
+    const auto s1 = BugStudy::Instance().CountByStage();
+    const auto s4 = BugStudy::Instance().CountByPrereq();
+    const auto s5 = BugStudy::Instance().CountByCause();
+    benchmark::DoNotOptimize(s1);
+    benchmark::DoNotOptimize(s4);
+    benchmark::DoNotOptimize(s5);
+  }
+}
+BENCHMARK(BM_AllFindings);
+
+}  // namespace
+}  // namespace soft
+
+int main(int argc, char** argv) {
+  soft::PrintFinding1();
+  soft::PrintFinding2();
+  soft::PrintFinding3();
+  soft::PrintFinding4();
+  soft::PrintSection5();
+  soft::PrintSection6();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

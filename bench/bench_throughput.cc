@@ -1,0 +1,105 @@
+// Supporting performance benches: parse / evaluate / generate throughput of
+// the harness machinery (no paper counterpart; documents that the simulated
+// substrate is fast enough for the statement budgets used elsewhere).
+#include <benchmark/benchmark.h>
+
+#include "src/dialects/dialects.h"
+#include "src/soft/expr_collection.h"
+#include "src/soft/patterns.h"
+#include "src/soft/seeds.h"
+#include "src/sqlparser/parser.h"
+
+namespace soft {
+namespace {
+
+void BM_ParseSimpleSelect(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ParseStatement("SELECT UPPER('abc'), 1 + 2 * 3"));
+  }
+}
+BENCHMARK(BM_ParseSimpleSelect);
+
+void BM_ParseClauseHeavySelect(benchmark::State& state) {
+  const std::string sql =
+      "SELECT a, SUM(b) AS s FROM t WHERE a > 1 AND b IS NOT NULL GROUP BY a "
+      "HAVING SUM(b) > 2 ORDER BY s DESC LIMIT 10";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ParseStatement(sql));
+  }
+}
+BENCHMARK(BM_ParseClauseHeavySelect);
+
+void BM_ExecuteScalarFunction(benchmark::State& state) {
+  auto db = MakeMariadbDialect();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db->Execute("SELECT REPLACE('banana', 'a', 'o')"));
+  }
+}
+BENCHMARK(BM_ExecuteScalarFunction);
+
+void BM_ExecuteDecimalArithmetic(benchmark::State& state) {
+  auto db = MakeMariadbDialect();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        db->Execute("SELECT 123456789012345678901234567890.5 * 987654321.25"));
+  }
+}
+BENCHMARK(BM_ExecuteDecimalArithmetic);
+
+void BM_ExecuteAggregateQuery(benchmark::State& state) {
+  auto db = MakeMariadbDialect();
+  db->Execute("CREATE TABLE bench_t (a INT, b STRING)");
+  for (int i = 0; i < 100; ++i) {
+    db->Execute("INSERT INTO bench_t VALUES (" + std::to_string(i) + ", 'row')");
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        db->Execute("SELECT b, SUM(a), AVG(a) FROM bench_t GROUP BY b"));
+  }
+}
+BENCHMARK(BM_ExecuteAggregateQuery);
+
+void BM_PatternGenerationPerSeed(benchmark::State& state) {
+  auto db = MakeMariadbDialect();
+  PatternEngine engine(*db, 1);
+  const std::vector<std::string> corpus = {"INSTR('banana', 'na')",
+                                           "JSON_LENGTH('[1]', '$')"};
+  for (auto _ : state) {
+    std::vector<GeneratedCase> out;
+    engine.GenerateAll("SUBSTR('abcdef', 2, 3)", corpus, out);
+    benchmark::DoNotOptimize(out.size());
+    state.counters["cases_per_seed"] = static_cast<double>(out.size());
+  }
+}
+BENCHMARK(BM_PatternGenerationPerSeed);
+
+void BM_CorpusCollection(benchmark::State& state) {
+  auto db = MakeMariadbDialect();
+  const std::vector<std::string> suite = SeedSuiteFor("mariadb");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CollectCorpus(*db, suite));
+  }
+}
+BENCHMARK(BM_CorpusCollection);
+
+void BM_DialectConstruction(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MakeVirtuosoDialect());
+  }
+}
+BENCHMARK(BM_DialectConstruction);
+
+void BM_FaultCheckMiss(benchmark::State& state) {
+  auto db = MakeVirtuosoDialect();
+  const ValueList args = {Value::Str("plain")};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        db->faults().CheckFunction("UPPER", args, 1, false, Stage::kExecute));
+  }
+}
+BENCHMARK(BM_FaultCheckMiss);
+
+}  // namespace
+}  // namespace soft
+
+BENCHMARK_MAIN();

@@ -1,0 +1,37 @@
+// Shared formatting helpers for the reproduction benches. Each bench binary
+// prints the paper table/figure it regenerates (paper value vs measured
+// value where applicable) and then runs google-benchmark timings for the
+// machinery involved.
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace soft {
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void PrintRow(const std::vector<std::string>& cells,
+                     const std::vector<int>& widths) {
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const int width = i < widths.size() ? widths[i] : 16;
+    std::printf("%-*s", width, cells[i].c_str());
+  }
+  std::printf("\n");
+}
+
+inline std::string Pct(double part, double whole) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", whole == 0 ? 0.0 : 100.0 * part / whole);
+  return buf;
+}
+
+}  // namespace soft
+
+#endif  // BENCH_BENCH_UTIL_H_

@@ -1,0 +1,73 @@
+// Full bug-hunting campaign over one dialect (the Section 7 workflow):
+// collect expressions, generate boundary arguments with all ten patterns,
+// execute, and print a bug report per finding.
+//
+//   $ ./examples/find_bugs [dialect] [budget]
+//   $ ./examples/find_bugs virtuoso 100000
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "src/dialects/dialects.h"
+#include "src/soft/soft_fuzzer.h"
+
+int main(int argc, char** argv) {
+  const std::string dialect = argc > 1 ? argv[1] : "virtuoso";
+  const int budget = argc > 2 ? std::atoi(argv[2]) : 150000;
+
+  std::unique_ptr<soft::Database> db = soft::MakeDialect(dialect);
+  if (db == nullptr) {
+    std::fprintf(stderr, "unknown dialect '%s'; options:", dialect.c_str());
+    for (const std::string& name : soft::AllDialectNames()) {
+      std::fprintf(stderr, " %s", name.c_str());
+    }
+    std::fprintf(stderr, "\n");
+    return 1;
+  }
+
+  std::printf("=== SOFT bug-hunting campaign ===\n");
+  std::printf("target:  %s (%zu functions, strict casts: %s)\n",
+              dialect.c_str(), db->registry().size(),
+              db->config().cast_options.strict ? "yes" : "no");
+  std::printf("budget:  %d statements\n\n", budget);
+
+  soft::SoftFuzzer fuzzer;
+  soft::CampaignOptions options;
+  options.max_statements = budget;
+  options.stop_when_all_bugs_found = true;
+  const soft::CampaignResult result = fuzzer.Run(*db, options);
+
+  std::printf("campaign finished: %d statements (%d SQL errors, %d crashes observed, "
+              "%d resource-limit false positives)\n\n",
+              result.statements_executed, result.sql_errors, result.crashes_observed,
+              result.false_positives);
+  std::printf("coverage: %zu functions triggered, %zu branches covered\n\n",
+              result.functions_triggered, result.branches_covered);
+
+  std::map<std::string, int> by_pattern;
+  std::map<std::string, int> by_crash;
+  std::printf("--- %zu unique bugs (expected for this dialect: %d) ---\n",
+              result.unique_bugs.size(), soft::ExpectedBugCount(dialect));
+  for (const soft::FoundBug& bug : result.unique_bugs) {
+    by_pattern[bug.found_by] += 1;
+    by_crash[std::string(soft::CrashTypeName(bug.crash.crash))] += 1;
+    std::printf("\nBUG-%s-%d  [%s] in %s (%s stage)\n", dialect.c_str(),
+                bug.crash.bug_id, soft::CrashTypeLongName(bug.crash.crash).data(),
+                bug.crash.function.c_str(), soft::StageName(bug.crash.stage).data());
+    std::printf("  found by pattern %s after %d statements\n", bug.found_by.c_str(),
+                bug.statements_until_found);
+    std::printf("  PoC: %s\n", bug.poc_sql.c_str());
+    std::printf("  %s\n", bug.crash.description.c_str());
+  }
+
+  std::printf("\n--- summary ---\nby pattern: ");
+  for (const auto& [pattern, count] : by_pattern) {
+    std::printf("%s:%d  ", pattern.c_str(), count);
+  }
+  std::printf("\nby crash type: ");
+  for (const auto& [crash, count] : by_crash) {
+    std::printf("%s:%d  ", crash.c_str(), count);
+  }
+  std::printf("\n");
+  return 0;
+}

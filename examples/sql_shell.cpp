@@ -1,0 +1,114 @@
+// Interactive SQL shell over any simulated dialect — a REPL for exploring
+// the engine substrate and poking at the injected bugs by hand.
+//
+//   $ ./examples/sql_shell mariadb
+//   mariadb> SELECT ST_ASTEXT(BOUNDARY(INET6_ATON('255.255.255.255')));
+//   ** simulated crash: BUG-mariadb-15 [NPD] in ST_ASTEXT ...
+//
+// Shell commands: .help, .tables, .functions [prefix], .bugs, .quit
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "src/dialects/dialects.h"
+
+namespace {
+
+void PrintHelp() {
+  std::printf(
+      "commands:\n"
+      "  .help               this text\n"
+      "  .functions [prefix] list catalog functions (optionally by prefix)\n"
+      "  .bugs               list the dialect's injected bug corpus\n"
+      "  .coverage           show triggered-function / branch counters\n"
+      "  .quit               exit\n"
+      "anything else is executed as SQL (';' optional)\n");
+}
+
+void PrintResult(const soft::StatementResult& r) {
+  if (r.crashed()) {
+    std::printf("** simulated crash: %s\n", r.crash->Summary().c_str());
+    std::printf("   (a real DBMS would be down now; this shell survives)\n");
+    return;
+  }
+  if (!r.ok()) {
+    std::printf("error (%s stage): %s\n", soft::StageName(r.stage).data(),
+                r.status.ToString().c_str());
+    return;
+  }
+  if (!r.columns.empty()) {
+    for (const std::string& col : r.columns) {
+      std::printf("%s\t", col.c_str());
+    }
+    std::printf("\n");
+  }
+  for (const soft::ValueList& row : r.rows) {
+    for (const soft::Value& v : row) {
+      std::printf("%s\t", v.ToDisplayString().c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("(%zu row%s)\n", r.rows.size(), r.rows.size() == 1 ? "" : "s");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string dialect = argc > 1 ? argv[1] : "mariadb";
+  std::unique_ptr<soft::Database> db = soft::MakeDialect(dialect);
+  if (db == nullptr) {
+    std::fprintf(stderr, "unknown dialect '%s'\n", dialect.c_str());
+    return 1;
+  }
+  std::printf("soft-engine shell — dialect '%s' (%zu functions, %zu injected bugs)\n",
+              dialect.c_str(), db->registry().size(), db->faults().bug_count());
+  std::printf("type .help for commands\n");
+
+  std::string line;
+  while (true) {
+    std::printf("%s> ", dialect.c_str());
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) {
+      break;
+    }
+    if (line.empty()) {
+      continue;
+    }
+    if (line[0] == '.') {
+      if (line == ".quit" || line == ".exit") {
+        break;
+      }
+      if (line == ".help") {
+        PrintHelp();
+      } else if (line.rfind(".functions", 0) == 0) {
+        const std::string prefix =
+            line.size() > 11 ? line.substr(11) : std::string();
+        int shown = 0;
+        for (const soft::FunctionDef* def : db->registry().All()) {
+          if (!prefix.empty() && def->name.rfind(prefix, 0) != 0) {
+            continue;
+          }
+          std::printf("  %-22s %-10s %s\n", def->name.c_str(),
+                      soft::FunctionTypeName(def->type).data(), def->doc.c_str());
+          ++shown;
+        }
+        std::printf("(%d functions)\n", shown);
+      } else if (line == ".bugs") {
+        for (const soft::BugSpec& spec : db->faults().AllBugs()) {
+          std::printf("  BUG-%s-%-3d [%s] %-18s %s — %s\n", dialect.c_str(), spec.id,
+                      soft::CrashTypeName(spec.crash).data(), spec.function.c_str(),
+                      spec.pattern.c_str(), spec.description.c_str());
+        }
+      } else if (line == ".coverage") {
+        std::printf("functions triggered: %zu, branches covered: %zu\n",
+                    db->coverage().TriggeredFunctionCount(),
+                    db->coverage().CoveredBranchCount());
+      } else {
+        std::printf("unknown command; try .help\n");
+      }
+      continue;
+    }
+    PrintResult(db->Execute(line));
+  }
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Explore the 318-bug study corpus interactively from the command line:
+// filter by DBMS / stage / root cause and print the matching records plus
+// aggregate statistics (the Sections 3–6 numbers).
+//
+//   $ ./examples/study_explorer                 # corpus overview
+//   $ ./examples/study_explorer mariadb         # one DBMS
+//   $ ./examples/study_explorer "" nested       # boundary-nested bugs
+#include <cstdio>
+#include <string>
+
+#include "src/corpus/study.h"
+
+namespace {
+
+const char* CauseName(soft::StudiedBug::RootCause cause) {
+  switch (cause) {
+    case soft::StudiedBug::RootCause::kBoundaryLiteral:
+      return "boundary-literal";
+    case soft::StudiedBug::RootCause::kBoundaryCast:
+      return "boundary-cast";
+    case soft::StudiedBug::RootCause::kBoundaryNested:
+      return "boundary-nested";
+    case soft::StudiedBug::RootCause::kConfiguration:
+      return "configuration";
+    case soft::StudiedBug::RootCause::kTableDefinition:
+      return "table-definition";
+    case soft::StudiedBug::RootCause::kComplexSyntax:
+      return "complex-syntax";
+  }
+  return "?";
+}
+
+bool CauseMatches(soft::StudiedBug::RootCause cause, const std::string& filter) {
+  return filter.empty() ||
+         std::string(CauseName(cause)).find(filter) != std::string::npos;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string dbms_filter = argc > 1 ? argv[1] : "";
+  const std::string cause_filter = argc > 2 ? argv[2] : "";
+
+  const soft::BugStudy& study = soft::BugStudy::Instance();
+
+  std::printf("=== SQL function bug study corpus (%d records) ===\n\n", study.total());
+  std::printf("Per DBMS (Table 1):\n");
+  for (const auto& [dbms, count] : study.CountByDbms()) {
+    std::printf("  %-12s %d\n", dbms.c_str(), count);
+  }
+
+  const soft::BugStudy::StageStats stages = study.CountByStage();
+  std::printf("\nCrash stages (Finding 1): execute %d, optimize %d, parse %d "
+              "(%d without backtrace)\n",
+              stages.execute, stages.optimize, stages.parse, stages.without_backtrace);
+
+  const soft::BugStudy::CauseStats causes = study.CountByCause();
+  std::printf("Root causes (Section 5): literal %d, cast %d, nested %d "
+              "=> %.1f%% boundary-value bugs\n",
+              causes.boundary_literal, causes.boundary_cast, causes.boundary_nested,
+              100.0 * causes.boundary_total() / study.total());
+
+  int shown = 0;
+  int matched = 0;
+  std::printf("\n--- records");
+  if (!dbms_filter.empty()) {
+    std::printf(" [dbms=%s]", dbms_filter.c_str());
+  }
+  if (!cause_filter.empty()) {
+    std::printf(" [cause~%s]", cause_filter.c_str());
+  }
+  std::printf(" ---\n");
+  for (const soft::StudiedBug& bug : study.bugs()) {
+    if (!dbms_filter.empty() && bug.dbms != dbms_filter) {
+      continue;
+    }
+    if (!CauseMatches(bug.cause, cause_filter)) {
+      continue;
+    }
+    ++matched;
+    if (shown < 20) {
+      ++shown;
+      std::string types;
+      for (const std::string& t : bug.expr_types) {
+        types += t + " ";
+      }
+      std::printf("#%-3d %-11s cause=%-17s exprs=%d [%s] stage=%s\n", bug.id,
+                  bug.dbms.c_str(), CauseName(bug.cause), bug.expression_count(),
+                  types.c_str(),
+                  bug.stage.has_value() ? soft::StageName(*bug.stage).data() : "unknown");
+    }
+  }
+  std::printf("(%d records matched, %d shown)\n", matched, shown);
+  return 0;
+}

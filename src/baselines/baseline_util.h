@@ -1,0 +1,56 @@
+// Shared helpers for the baseline fuzzers. Internal to src/baselines.
+#ifndef SRC_BASELINES_BASELINE_UTIL_H_
+#define SRC_BASELINES_BASELINE_UTIL_H_
+
+#include <set>
+#include <string>
+
+#include "src/soft/campaign.h"
+#include "src/util/rng.h"
+
+namespace soft {
+
+// Executes one statement and folds the outcome into the campaign result.
+inline void ExecuteAndRecord(Database& db, const std::string& sql,
+                             const std::string& found_by, CampaignResult& result,
+                             std::set<int>& found_ids) {
+  ++result.statements_executed;
+  const StatementResult r = db.Execute(sql);
+  if (r.crashed()) {
+    ++result.crashes_observed;
+    if (found_ids.insert(r.crash->bug_id).second) {
+      FoundBug bug;
+      bug.crash = *r.crash;
+      bug.poc_sql = sql;
+      bug.found_by = found_by;
+      bug.statements_until_found = result.statements_executed;
+      result.unique_bugs.push_back(std::move(bug));
+    }
+    return;
+  }
+  if (r.status.code() == StatusCode::kResourceExhausted) {
+    ++result.false_positives;
+    return;
+  }
+  if (!r.ok()) {
+    ++result.sql_errors;
+  }
+}
+
+// Benign literal generators shared by the baselines: small integers, short
+// alphabetic strings, exponent-tagged doubles (so the parser types them as
+// DOUBLE, not exact DECIMAL — matching how the real tools bind parameters).
+inline std::string BenignInt(Rng& rng) { return std::to_string(rng.NextBelow(10)); }
+
+inline std::string BenignDouble(Rng& rng) {
+  return std::to_string(rng.NextBelow(10)) + "." + std::to_string(rng.NextBelow(10)) +
+         "e0";
+}
+
+inline std::string BenignString(Rng& rng) {
+  return "'" + rng.NextIdentifier(1 + rng.NextBelow(8)) + "'";
+}
+
+}  // namespace soft
+
+#endif  // SRC_BASELINES_BASELINE_UTIL_H_

@@ -1,0 +1,47 @@
+// Baseline DBMS testing tools (Section 7.5): faithful-in-spirit
+// reimplementations of the three comparison systems.
+//
+//   RandSmith   — SQLsmith-like: grammar-random, type-directed expression
+//                 generation over the full catalog, benign mid-range
+//                 literals, nested expressions and query clutter.
+//   PqsGen      — SQLancer-PQS-like: builds tables with random rows, picks a
+//                 pivot row, synthesizes predicates that must match it, and
+//                 checks containment (a logic oracle). Supports only a small
+//                 hand-modeled function pool, mirroring SQLancer's per-
+//                 function Java models.
+//   MutSquirrel — SQUIRREL-like: mutates seed queries from the regression
+//                 suite (literal replacement, same-category function swaps,
+//                 clause addition), preserving validity.
+//
+// The paper's structural claim — tools that generate random literals and
+// clause-heavy statements rarely construct boundary function arguments — is
+// preserved: these generators produce the same classes of queries the real
+// tools do (small integers, short alphabetic strings, type-correct calls).
+#ifndef SRC_BASELINES_BASELINES_H_
+#define SRC_BASELINES_BASELINES_H_
+
+#include "src/soft/campaign.h"
+
+namespace soft {
+
+class RandSmith : public Fuzzer {
+ public:
+  std::string name() const override { return "SQLsmith*"; }
+  CampaignResult Run(Database& db, const CampaignOptions& options) override;
+};
+
+class PqsGen : public Fuzzer {
+ public:
+  std::string name() const override { return "SQLancer*"; }
+  CampaignResult Run(Database& db, const CampaignOptions& options) override;
+};
+
+class MutSquirrel : public Fuzzer {
+ public:
+  std::string name() const override { return "SQUIRREL*"; }
+  CampaignResult Run(Database& db, const CampaignOptions& options) override;
+};
+
+}  // namespace soft
+
+#endif  // SRC_BASELINES_BASELINES_H_

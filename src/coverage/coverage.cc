@@ -1,0 +1,38 @@
+#include "src/coverage/coverage.h"
+
+#include <algorithm>
+#include <map>
+
+namespace soft {
+
+void CoverageTracker::Hit(const std::string& function, int branch_id) {
+  functions_.insert(function);
+  branches_.insert(function + "#" + std::to_string(branch_id));
+}
+
+std::vector<std::string> CoverageTracker::TriggeredFunctions() const {
+  std::vector<std::string> out(functions_.begin(), functions_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::pair<std::string, int>> CoverageTracker::BranchCountsByFunction() const {
+  std::map<std::string, int> counts;
+  for (const std::string& key : branches_) {
+    const size_t hash_pos = key.rfind('#');
+    counts[key.substr(0, hash_pos)] += 1;
+  }
+  return {counts.begin(), counts.end()};
+}
+
+void CoverageTracker::MergeFrom(const CoverageTracker& other) {
+  functions_.insert(other.functions_.begin(), other.functions_.end());
+  branches_.insert(other.branches_.begin(), other.branches_.end());
+}
+
+void CoverageTracker::Reset() {
+  functions_.clear();
+  branches_.clear();
+}
+
+}  // namespace soft

@@ -1,0 +1,116 @@
+// ClickHouse dialect: the largest function catalog of the seven (Table 5
+// shows SOFT triggering 711 functions there, far more than elsewhere). On
+// top of the full builtin set it registers camel-case-style converter
+// aliases (TOSTRING, TOINT64, ...) mirroring ClickHouse's to* family. Its 6
+// injected bugs reproduce the ClickHouse rows of Table 4, headlined by the
+// toDecimalString null-pointer dereference of Listing 1.
+#include "src/dialects/dialect_common.h"
+#include "src/dialects/dialects.h"
+
+namespace soft {
+namespace {
+
+// Registers a converter alias NAME(x) == CAST(x AS kind).
+void AddConverterAlias(FunctionRegistry& registry, const char* name, TypeKind kind,
+                       const char* example) {
+  FunctionDef def;
+  def.name = name;
+  def.type = FunctionType::kCasting;
+  def.min_args = 1;
+  def.max_args = 1;
+  def.scalar = [kind](FunctionContext& ctx, const ValueList& args) -> Result<Value> {
+    return CastValue(args[0], kind, ctx.cast_options());
+  };
+  def.doc = std::string("ClickHouse-style converter to ") + std::string(TypeKindName(kind));
+  def.example = example;
+  registry.Register(std::move(def));
+}
+
+}  // namespace
+
+std::unique_ptr<Database> MakeClickhouseDialect() {
+  EngineConfig config;
+  config.name = "clickhouse";
+  config.cast_options.strict = false;
+  auto db = std::make_unique<Database>(config);
+
+  FunctionRegistry& r = db->registry();
+  // The to* converter family (a representative slice of ClickHouse's).
+  AddConverterAlias(r, "TOSTRING", TypeKind::kString, "TOSTRING(1.5)");
+  AddConverterAlias(r, "TOINT8", TypeKind::kInt, "TOINT8('1')");
+  AddConverterAlias(r, "TOINT16", TypeKind::kInt, "TOINT16('1')");
+  AddConverterAlias(r, "TOINT32", TypeKind::kInt, "TOINT32('1')");
+  AddConverterAlias(r, "TOINT64", TypeKind::kInt, "TOINT64('1')");
+  AddConverterAlias(r, "TOUINT8", TypeKind::kInt, "TOUINT8('1')");
+  AddConverterAlias(r, "TOUINT16", TypeKind::kInt, "TOUINT16('1')");
+  AddConverterAlias(r, "TOUINT32", TypeKind::kInt, "TOUINT32('1')");
+  AddConverterAlias(r, "TOUINT64", TypeKind::kInt, "TOUINT64('1')");
+  AddConverterAlias(r, "TOFLOAT32", TypeKind::kDouble, "TOFLOAT32('1.5')");
+  AddConverterAlias(r, "TOFLOAT64", TypeKind::kDouble, "TOFLOAT64('1.5')");
+  AddConverterAlias(r, "TODECIMAL32", TypeKind::kDecimal, "TODECIMAL32('1.5')");
+  AddConverterAlias(r, "TODECIMAL64", TypeKind::kDecimal, "TODECIMAL64('1.5')");
+  AddConverterAlias(r, "TODECIMAL128", TypeKind::kDecimal, "TODECIMAL128('1.5')");
+  AddConverterAlias(r, "TODECIMAL256", TypeKind::kDecimal, "TODECIMAL256('1.5')");
+  AddConverterAlias(r, "TODATE", TypeKind::kDate, "TODATE('2024-06-15')");
+  AddConverterAlias(r, "TODATETIME", TypeKind::kDateTime,
+                    "TODATETIME('2024-06-15 10:00:00')");
+  AddConverterAlias(r, "TOBOOL", TypeKind::kBool, "TOBOOL('true')");
+  AddConverterAlias(r, "TOJSON", TypeKind::kJson, "TOJSON('[1,2]')");
+  AddConverterAlias(r, "TOBLOB", TypeKind::kBlob, "TOBLOB('ab')");
+
+  BugAdder bugs(*db, "clickhouse");
+  // --- aggregate (1): NPD (P1.2) ---------------------------------------------
+  bugs.Add({.function = "SUM",
+            .function_type = "aggregate",
+            .crash = CrashType::kNullPointerDereference,
+            .pattern = "P1.2",
+            .trigger = TriggerKind::kArgIsStar,
+            .description = "SUM(*) binds the star item to a null column pointer"});
+  // --- array (1): NPD (P2.3) ----------------------------------------------------
+  bugs.Add({.function = "ARRAY_CONCAT",
+            .function_type = "array",
+            .crash = CrashType::kNullPointerDereference,
+            .pattern = "P2.3",
+            .trigger = TriggerKind::kArgTypeIs,
+            .param_type = TypeKind::kJson,
+            .description = "ARRAY_CONCAT takes the column pointer of a JSON document "
+                           "argument borrowed from JSON functions"});
+  // --- date (1): NPD (P1.2) --------------------------------------------------------
+  bugs.Add({.function = "DATE_ADD",
+            .function_type = "date",
+            .crash = CrashType::kNullPointerDereference,
+            .pattern = "P1.2",
+            .trigger = TriggerKind::kIntAtLeast,
+            .arg_index = 1,
+            .threshold = 100000000000LL,
+            .description = "DATE_ADD folds 1e11-day offsets through a null LUT page"});
+  // --- string (3): NPD (P1.2), SEGV (P2.3), SEGV (P3.1) ------------------------------
+  bugs.Add({.function = "TODECIMALSTRING",
+            .function_type = "string",
+            .crash = CrashType::kNullPointerDereference,
+            .pattern = "P1.2",
+            .trigger = TriggerKind::kArgIsStar,
+            .arg_index = 1,
+            .description = "toDecimalString dereferences the precision column for a "
+                           "'*' argument (Listing 1; ClickHouse issue #52407)"});
+  bugs.Add({.function = "SUBSTR",
+            .function_type = "string",
+            .crash = CrashType::kSegmentationViolation,
+            .pattern = "P2.3",
+            .trigger = TriggerKind::kArgTypeIs,
+            .arg_index = 0,
+            .param_type = TypeKind::kDate,
+            .description = "SUBSTR slices the packed representation of DATE items "
+                           "passed from date functions"});
+  bugs.Add({.function = "CONCAT",
+            .function_type = "string",
+            .crash = CrashType::kSegmentationViolation,
+            .pattern = "P3.1",
+            .trigger = TriggerKind::kStringLengthAtLeast,
+            .threshold = 500000,
+            .description = "CONCAT's SIMD copy reads past the source chunk for "
+                           "500 KB operands built by nested REPEATs"});
+  return db;
+}
+
+}  // namespace soft

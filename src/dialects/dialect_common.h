@@ -1,0 +1,44 @@
+// Helpers shared by the dialect definitions. Internal to src/dialects.
+#ifndef SRC_DIALECTS_DIALECT_COMMON_H_
+#define SRC_DIALECTS_DIALECT_COMMON_H_
+
+#include <initializer_list>
+#include <memory>
+#include <string>
+
+#include "src/engine/database.h"
+
+namespace soft {
+
+// Removes a list of function names from a dialect's catalog.
+inline void RemoveFunctions(FunctionRegistry& registry,
+                            std::initializer_list<const char*> names) {
+  for (const char* name : names) {
+    registry.Remove(name);
+  }
+}
+
+// Sequential-id bug inserter for one dialect.
+class BugAdder {
+ public:
+  BugAdder(Database& db, std::string dbms) : db_(db), dbms_(std::move(dbms)) {}
+
+  // Adds a spec with the next id; all BugSpec fields except id/dbms are taken
+  // from `spec`.
+  void Add(BugSpec spec) {
+    spec.id = next_id_++;
+    spec.dbms = dbms_;
+    db_.faults().AddBug(std::move(spec));
+  }
+
+  int count() const { return next_id_ - 1; }
+
+ private:
+  Database& db_;
+  std::string dbms_;
+  int next_id_ = 1;
+};
+
+}  // namespace soft
+
+#endif  // SRC_DIALECTS_DIALECT_COMMON_H_

@@ -1,0 +1,61 @@
+#include "src/dialects/dialects.h"
+
+namespace soft {
+
+std::unique_ptr<Database> MakeDialect(const std::string& name) {
+  if (name == "postgresql") {
+    return MakePostgresqlDialect();
+  }
+  if (name == "mysql") {
+    return MakeMysqlDialect();
+  }
+  if (name == "mariadb") {
+    return MakeMariadbDialect();
+  }
+  if (name == "clickhouse") {
+    return MakeClickhouseDialect();
+  }
+  if (name == "monetdb") {
+    return MakeMonetdbDialect();
+  }
+  if (name == "duckdb") {
+    return MakeDuckdbDialect();
+  }
+  if (name == "virtuoso") {
+    return MakeVirtuosoDialect();
+  }
+  return nullptr;
+}
+
+const std::vector<std::string>& AllDialectNames() {
+  static const std::vector<std::string> kNames = {
+      "postgresql", "mysql", "mariadb", "clickhouse", "monetdb", "duckdb", "virtuoso"};
+  return kNames;
+}
+
+int ExpectedBugCount(const std::string& dialect) {
+  if (dialect == "postgresql") {
+    return 1;
+  }
+  if (dialect == "mysql") {
+    return 16;
+  }
+  if (dialect == "mariadb") {
+    return 24;
+  }
+  if (dialect == "clickhouse") {
+    return 6;
+  }
+  if (dialect == "monetdb") {
+    return 19;
+  }
+  if (dialect == "duckdb") {
+    return 21;
+  }
+  if (dialect == "virtuoso") {
+    return 45;
+  }
+  return 0;
+}
+
+}  // namespace soft

@@ -1,0 +1,45 @@
+// The seven simulated DBMS dialects of the evaluation (Section 7.2):
+// PostgreSQL, MySQL, MariaDB, ClickHouse, MonetDB, DuckDB, Virtuoso.
+//
+// A dialect is a Database configured with (a) a pruned/extended function
+// catalog, (b) type-system strictness (PostgreSQL strict, the rest lenient —
+// the paper's explanation for PostgreSQL's low bug count), and (c) its
+// injected fault corpus reproducing its Table 4 rows bug-for-bug: the same
+// counts per function type, crash type, and boundary-value-generation
+// pattern.
+#ifndef SRC_DIALECTS_DIALECTS_H_
+#define SRC_DIALECTS_DIALECTS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/engine/database.h"
+
+namespace soft {
+
+std::unique_ptr<Database> MakePostgresqlDialect();
+std::unique_ptr<Database> MakeMysqlDialect();
+std::unique_ptr<Database> MakeMariadbDialect();
+std::unique_ptr<Database> MakeClickhouseDialect();
+std::unique_ptr<Database> MakeMonetdbDialect();
+std::unique_ptr<Database> MakeDuckdbDialect();
+std::unique_ptr<Database> MakeVirtuosoDialect();
+
+// Factory by name ("postgresql", "mysql", ...); nullptr for unknown names.
+std::unique_ptr<Database> MakeDialect(const std::string& name);
+
+// The seven dialect names in the paper's order.
+const std::vector<std::string>& AllDialectNames();
+
+// Expected Table 4 bug count per dialect (PostgreSQL: 1, MySQL: 16, ...).
+int ExpectedBugCount(const std::string& dialect);
+
+// Builds a SQL statement that triggers `spec` against `db`, derived from the
+// target function's registry example with the boundary argument spliced in.
+// Used by the bug-oracle tests, the Table 4 bench, and the bug reporter.
+Result<std::string> BuildPocSql(const Database& db, const BugSpec& spec);
+
+}  // namespace soft
+
+#endif  // SRC_DIALECTS_DIALECTS_H_

@@ -1,0 +1,206 @@
+// DuckDB dialect: full array/map/JSON surface (its Table 4 bugs concentrate
+// there), strict casts (DuckDB rejects malformed text), assertion-heavy
+// implementation style (AF dominates its crash mix). 21 injected bugs
+// reproduce the DuckDB rows of Table 4 (9 array, 1 date, 3 map, 1 json,
+// 2 math, 4 string, 1 system).
+#include "src/dialects/dialect_common.h"
+#include "src/dialects/dialects.h"
+
+namespace soft {
+
+std::unique_ptr<Database> MakeDuckdbDialect() {
+  EngineConfig config;
+  config.name = "duckdb";
+  config.cast_options.strict = true;
+  auto db = std::make_unique<Database>(config);
+
+  RemoveFunctions(db->registry(),
+                  {"UPDATEXML", "EXTRACTVALUE", "XML_VALID", "XML_ROOT",
+                   "XML_ELEMENT_COUNT", "ST_GEOMFROMTEXT", "ST_ASTEXT", "ST_ASBINARY",
+                   "BOUNDARY", "POINT", "ST_X", "ST_Y", "ST_NUMPOINTS", "ST_LENGTH",
+                   "ST_DISTANCE", "ST_EQUALS", "ST_ISVALID", "NEXTVAL", "LASTVAL",
+                   "SETVAL", "COLUMN_CREATE", "COLUMN_JSON", "INET6_ATON",
+                   "INET6_NTOA", "INET_ATON", "INET_NTOA", "ELT", "FIELD",
+                   "BENCHMARK", "CHARSET", "COLLATION", "COERCIBILITY", "FOUND_ROWS",
+                   "CONTAINS", "CONVERT", "TODECIMALSTRING", "SYS_STAT",
+                   "JSONB_OBJECT_AGG", "SOUNDEX", "MAKEDATE", "FROM_DAYS", "TO_DAYS"});
+
+  BugAdder bugs(*db, "duckdb");
+  // --- array (9): AF x5, HBOF x3, SO; P1.2 x7, P1.4, P2.2 -----------------------
+  bugs.Add({.function = "ELEMENT_AT",
+            .function_type = "array",
+            .crash = CrashType::kAssertionFailure,
+            .pattern = "P1.2",
+            .trigger = TriggerKind::kIntAtLeast,
+            .arg_index = 1,
+            .threshold = 1000000000LL,
+            .description = "D_ASSERT(index <= list.size()) fires for 1e9 indexes"});
+  bugs.Add({.function = "ELEMENT_AT",
+            .function_type = "array",
+            .crash = CrashType::kHeapBufferOverflow,
+            .pattern = "P1.2",
+            .trigger = TriggerKind::kIntAtMost,
+            .arg_index = 1,
+            .threshold = -1000000000LL,
+            .description = "negative index wrap-around reads before the list "
+                           "entry buffer"});
+  bugs.Add({.function = "ARRAY_LENGTH",
+            .function_type = "array",
+            .crash = CrashType::kAssertionFailure,
+            .pattern = "P1.2",
+            .trigger = TriggerKind::kArgIsStar,
+            .description = "ARRAY_LENGTH(*) asserts on the star expression class"});
+  bugs.Add({.function = "ARRAY_SLICE",
+            .function_type = "array",
+            .crash = CrashType::kAssertionFailure,
+            .pattern = "P1.2",
+            .trigger = TriggerKind::kIntAtMost,
+            .arg_index = 1,
+            .threshold = -1000000,
+            .description = "slice begin normalization asserts for hugely negative "
+                           "bounds"});
+  bugs.Add({.function = "ARRAY_SLICE",
+            .function_type = "array",
+            .crash = CrashType::kHeapBufferOverflow,
+            .pattern = "P1.2",
+            .trigger = TriggerKind::kIntAtLeast,
+            .arg_index = 2,
+            .threshold = 1000000000LL,
+            .description = "slice end clamp is skipped for 1e9 bounds and copies "
+                           "past the child vector"});
+  bugs.Add({.function = "ARRAY_POSITION",
+            .function_type = "array",
+            .crash = CrashType::kAssertionFailure,
+            .pattern = "P1.2",
+            .trigger = TriggerKind::kArgIsNull,
+            .arg_index = 1,
+            .description = "needle NULL reaches a D_ASSERT(!value.IsNull())"});
+  bugs.Add({.function = "ARRAY_CONTAINS",
+            .function_type = "array",
+            .crash = CrashType::kHeapBufferOverflow,
+            .pattern = "P1.2",
+            .trigger = TriggerKind::kArgEmptyString,
+            .arg_index = 1,
+            .description = "empty-string probe hashes one byte before the needle "
+                           "buffer"});
+  bugs.Add({.function = "ARRAY_CONCAT",
+            .function_type = "array",
+            .crash = CrashType::kAssertionFailure,
+            .pattern = "P1.4",
+            .trigger = TriggerKind::kStringContains,
+            .param_text = "[[[[[[[[",
+            .description = "list-literal reparse asserts on eight unmatched '[' "
+                           "openers"});
+  bugs.Add({.function = "CARDINALITY",
+            .function_type = "array",
+            .crash = CrashType::kStackOverflow,
+            .pattern = "P2.2",
+            .trigger = TriggerKind::kArgTypeIs,
+            .param_type = TypeKind::kDateTime,
+            .description = "CARDINALITY retries UNION-unified DATETIME items "
+                           "through mutually recursive coercion"});
+  // --- date (1): SO (P3.1) ---------------------------------------------------------
+  bugs.Add({.function = "DATE_FORMAT",
+            .function_type = "date",
+            .crash = CrashType::kStackOverflow,
+            .pattern = "P3.1",
+            .trigger = TriggerKind::kStringLengthAtLeast,
+            .arg_index = 1,
+            .threshold = 10000,
+            .description = "format-string parser recurses per specifier and "
+                           "overflows on 10 KB formats built by REPEAT"});
+  // --- map (3): AF, HBOF x2; P1.2 x2, P2.1 --------------------------------------------
+  bugs.Add({.function = "MAP",
+            .function_type = "map",
+            .crash = CrashType::kAssertionFailure,
+            .pattern = "P1.2",
+            .trigger = TriggerKind::kArgIsNull,
+            .arg_index = 0,
+            .description = "MAP(NULL, ...) asserts on the keys vector cardinality"});
+  bugs.Add({.function = "MAP_EXTRACT",
+            .function_type = "map",
+            .crash = CrashType::kHeapBufferOverflow,
+            .pattern = "P1.2",
+            .trigger = TriggerKind::kArgEmptyString,
+            .arg_index = 1,
+            .description = "empty-string key probe reads a byte before the key "
+                           "heap"});
+  bugs.Add({.function = "MAP_KEYS",
+            .function_type = "map",
+            .crash = CrashType::kHeapBufferOverflow,
+            .pattern = "P2.1",
+            .trigger = TriggerKind::kArgTypeIs,
+            .arg_index = 0,
+            .param_type = TypeKind::kString,
+            .description = "MAP_KEYS over a cast-to-VARCHAR map re-parses the text "
+                           "into an undersized entry vector"});
+  // --- json (1): AF (P1.2) --------------------------------------------------------------
+  bugs.Add({.function = "JSON_EXTRACT",
+            .function_type = "json",
+            .crash = CrashType::kAssertionFailure,
+            .pattern = "P1.2",
+            .trigger = TriggerKind::kArgEmptyString,
+            .arg_index = 1,
+            .description = "empty JSON path asserts in the path tokenizer"});
+  // --- math (2): AF, HBOF; P1.2, P2.1 ------------------------------------------------------
+  bugs.Add({.function = "POWER",
+            .function_type = "math",
+            .crash = CrashType::kAssertionFailure,
+            .pattern = "P1.2",
+            .trigger = TriggerKind::kIntAtLeast,
+            .arg_index = 1,
+            .threshold = 1000000000LL,
+            .description = "exponent fast-path asserts exp < 2^30"});
+  bugs.Add({.function = "ROUND",
+            .function_type = "math",
+            .crash = CrashType::kHeapBufferOverflow,
+            .pattern = "P2.1",
+            .trigger = TriggerKind::kArgTypeIs,
+            .arg_index = 0,
+            .param_type = TypeKind::kString,
+            .description = "ROUND over cast-to-VARCHAR numerics renders into a "
+                           "buffer sized from the pre-cast width"});
+  // --- string (4): AF x2, SEGV x2; P1.2, P1.3, P3.1, P3.3 ------------------------------------
+  bugs.Add({.function = "REVERSE",
+            .function_type = "string",
+            .crash = CrashType::kAssertionFailure,
+            .pattern = "P1.2",
+            .trigger = TriggerKind::kArgEmptyString,
+            .description = "grapheme iterator asserts on zero-length input"});
+  bugs.Add({.function = "FORMAT",
+            .function_type = "string",
+            .crash = CrashType::kAssertionFailure,
+            .pattern = "P1.3",
+            .trigger = TriggerKind::kDecimalDigitsAtLeast,
+            .threshold = 40,
+            .description = "decimal width assertion fires past 39 digits"});
+  bugs.Add({.function = "REPLACE",
+            .function_type = "string",
+            .crash = CrashType::kSegmentationViolation,
+            .pattern = "P3.1",
+            .trigger = TriggerKind::kStringLengthAtLeast,
+            .arg_index = 0,
+            .threshold = 100000,
+            .description = "subject resize during replacement invalidates the scan "
+                           "pointer for 100 KB subjects"});
+  bugs.Add({.function = "TRIM",
+            .function_type = "string",
+            .crash = CrashType::kSegmentationViolation,
+            .pattern = "P3.3",
+            .trigger = TriggerKind::kArgTypeIs,
+            .param_type = TypeKind::kJson,
+            .description = "TRIM walks the JSON handle of a nested-function "
+                           "argument as UTF-8 text"});
+  // --- system (1): AF (P2.1) --------------------------------------------------------------------
+  bugs.Add({.function = "TYPEOF",
+            .function_type = "system",
+            .crash = CrashType::kAssertionFailure,
+            .pattern = "P2.1",
+            .trigger = TriggerKind::kArgTypeIs,
+            .param_type = TypeKind::kBlob,
+            .description = "TYPEOF asserts its logical-type switch is exhaustive; "
+                           "cast-produced BLOB hits the default branch"});
+  return db;
+}
+
+}  // namespace soft

@@ -1,0 +1,236 @@
+// MariaDB dialect: MySQL-flavoured with dynamic columns (COLUMN_CREATE /
+// COLUMN_JSON) and sequences. 24 injected bugs reproduce its Table 4 rows
+// (4 aggregate, 1 condition, 3 date, 6 json, 1 sequence, 5 spatial, 4 string),
+// including the paper's Case 5 (JSON_LENGTH over REPEAT('[1,', 100)) and
+// Case 6 (ST_ASTEXT(BOUNDARY(INET6_ATON(...)))).
+#include "src/dialects/dialect_common.h"
+#include "src/dialects/dialects.h"
+
+namespace soft {
+
+std::unique_ptr<Database> MakeMariadbDialect() {
+  EngineConfig config;
+  config.name = "mariadb";
+  config.cast_options.strict = false;
+  auto db = std::make_unique<Database>(config);
+
+  RemoveFunctions(db->registry(),
+                  {"ARRAY_LENGTH", "ELEMENT_AT", "ARRAY_CONCAT", "ARRAY_APPEND",
+                   "ARRAY_CONTAINS", "ARRAY_SLICE", "ARRAY_REVERSE", "ARRAY_POSITION",
+                   "MAP", "MAP_KEYS", "MAP_VALUES", "MAP_EXTRACT", "CARDINALITY",
+                   "SPLIT_PART", "TO_NUMBER", "TODECIMALSTRING", "CONTAINS", "INITCAP",
+                   "TRANSLATE", "CHR", "XML_VALID", "XML_ROOT", "XML_ELEMENT_COUNT",
+                   "JSONB_OBJECT_AGG", "BOOL_AND", "BOOL_OR", "MEDIAN", "STRING_AGG",
+                   "DECODE", "NVL", "NVL2", "ADD_MONTHS", "LOG2", "TO_BASE64",
+                   "FROM_BASE64", "REGEXP_REPLACE", "SOUNDEX", "TRANSLATE", "ATAN2",
+                   "LOG10", "CRC32", "SYS_STAT", "TO_TIMESTAMP", "TO_JSON"});
+
+  BugAdder bugs(*db, "mariadb");
+  // --- aggregate (4): NPD/SEGV/SEGV (P1.2 x3), SO (P2.2) ----------------------
+  bugs.Add({.function = "SUM",
+            .function_type = "aggregate",
+            .crash = CrashType::kNullPointerDereference,
+            .pattern = "P1.2",
+            .trigger = TriggerKind::kArgIsStar,
+            .description = "SUM(*) resolves the star item to a null field pointer"});
+  bugs.Add({.function = "STDDEV",
+            .function_type = "aggregate",
+            .crash = CrashType::kSegmentationViolation,
+            .pattern = "P1.2",
+            .trigger = TriggerKind::kIntAtLeast,
+            .threshold = 1000000000000000LL,
+            .description = "STDDEV squares 1e15-scale integers into a mis-addressed "
+                           "overflow staging slot"});
+  bugs.Add({.function = "VARIANCE",
+            .function_type = "aggregate",
+            .crash = CrashType::kSegmentationViolation,
+            .pattern = "P1.2",
+            .trigger = TriggerKind::kArgEmptyString,
+            .description = "VARIANCE parses '' as a number via a NULL end pointer"});
+  bugs.Add({.function = "GROUP_CONCAT",
+            .function_type = "aggregate",
+            .crash = CrashType::kStackOverflow,
+            .pattern = "P2.2",
+            .trigger = TriggerKind::kArgTypeIs,
+            .param_type = TypeKind::kDateTime,
+            .description = "GROUP_CONCAT recursively re-renders DATETIME items "
+                           "unified by a UNION branch"});
+  // --- condition (1): NPD (P2.2) ---------------------------------------------
+  bugs.Add({.function = "IFNULL",
+            .function_type = "condition",
+            .crash = CrashType::kNullPointerDereference,
+            .pattern = "P2.2",
+            .trigger = TriggerKind::kArgTypeIs,
+            .arg_index = 0,
+            .param_type = TypeKind::kDateTime,
+            .description = "IFNULL probes the maybe-null flag of implicitly cast "
+                           "DATETIME items before their field is materialized"});
+  // --- date (3): NPD (P1.2), NPD (P2.3), GBOF (P3.3) --------------------------
+  bugs.Add({.function = "MAKEDATE",
+            .function_type = "date",
+            .crash = CrashType::kNullPointerDereference,
+            .pattern = "P1.2",
+            .trigger = TriggerKind::kIntAtMost,
+            .arg_index = 1,
+            .threshold = -1000000000000LL,
+            .description = "MAKEDATE normalizes hugely negative day-of-year values "
+                           "through a NULL interval cache"});
+  bugs.Add({.function = "DATE_FORMAT",
+            .function_type = "date",
+            .crash = CrashType::kNullPointerDereference,
+            .pattern = "P2.3",
+            .trigger = TriggerKind::kStringContains,
+            .arg_index = 1,
+            .param_text = "$[",
+            .description = "DATE_FORMAT treats a JSON-path format string borrowed "
+                           "from JSON functions as a locale handle"});
+  bugs.Add({.function = "DATEDIFF",
+            .function_type = "date",
+            .crash = CrashType::kGlobalBufferOverflow,
+            .pattern = "P3.3",
+            .trigger = TriggerKind::kArgTypeIs,
+            .arg_index = 0,
+            .param_type = TypeKind::kBlob,
+            .description = "DATEDIFF unpacks binary arguments into a fixed global "
+                           "temporal scratch array"});
+  // --- json (6) ----------------------------------------------------------------
+  bugs.Add({.function = "JSON_LENGTH",
+            .function_type = "json",
+            .crash = CrashType::kGlobalBufferOverflow,
+            .pattern = "P3.1",
+            .trigger = TriggerKind::kJsonDepthAtLeast,
+            .arg_index = 0,
+            .threshold = 80,
+            .description = "JSON_LENGTH tracks nesting in a fixed 80-slot global "
+                           "stack (Case 5: REPEAT('[1,', 100))"});
+  bugs.Add({.function = "JSON_EXTRACT",
+            .function_type = "json",
+            .crash = CrashType::kSegmentationViolation,
+            .pattern = "P3.1",
+            .trigger = TriggerKind::kStringLengthAtLeast,
+            .arg_index = 0,
+            .threshold = 5000,
+            .description = "JSON_EXTRACT's path automaton overruns its position map "
+                           "on multi-kilobyte documents"});
+  bugs.Add({.function = "JSON_VALID",
+            .function_type = "json",
+            .crash = CrashType::kNullPointerDereference,
+            .pattern = "P1.4",
+            .trigger = TriggerKind::kStringContains,
+            .arg_index = 0,
+            .param_text = "{{{{{{{{",
+            .description = "JSON_VALID's error recovery dereferences a NULL frame "
+                           "after eight unmatched '{' openers"});
+  bugs.Add({.function = "JSON_OBJECT",
+            .function_type = "json",
+            .crash = CrashType::kAssertionFailure,
+            .pattern = "P1.4",
+            .trigger = TriggerKind::kStringContains,
+            .param_text = "[[[[[[[[",
+            .description = "JSON_OBJECT asserts that key strings contain no nested "
+                           "array openers"});
+  bugs.Add({.function = "COLUMN_CREATE",
+            .function_type = "json",
+            .crash = CrashType::kGlobalBufferOverflow,
+            .pattern = "P2.3",
+            .trigger = TriggerKind::kDecimalDigitsAtLeast,
+            .threshold = 41,
+            .description = "dynamic-column packing miscomputes decimal2string length "
+                           "past 40 digits (MDEV-8407 analogue)"});
+  bugs.Add({.function = "JSON_KEYS",
+            .function_type = "json",
+            .crash = CrashType::kNullPointerDereference,
+            .pattern = "P3.3",
+            .trigger = TriggerKind::kArgTypeIs,
+            .param_type = TypeKind::kGeometry,
+            .description = "JSON_KEYS casts geometry items to its document handle "
+                           "without a type check"});
+  // --- sequence (1): NPD (P3.3) --------------------------------------------------
+  bugs.Add({.function = "NEXTVAL",
+            .function_type = "sequence",
+            .crash = CrashType::kNullPointerDereference,
+            .pattern = "P3.3",
+            .trigger = TriggerKind::kArgTypeIs,
+            .param_type = TypeKind::kJson,
+            .description = "NEXTVAL looks up the sequence by a JSON document name "
+                           "and dereferences the missing schema entry"});
+  // --- spatial (5) -----------------------------------------------------------------
+  bugs.Add({.function = "ST_ASTEXT",
+            .function_type = "spatial",
+            .crash = CrashType::kNullPointerDereference,
+            .pattern = "P3.3",
+            .trigger = TriggerKind::kBlobNotGeometry,
+            .description = "ST_ASTEXT renders undecodable blobs (e.g. INET6_ATON "
+                           "output) via a NULL geometry header (Case 6 analogue)"});
+  bugs.Add({.function = "BOUNDARY",
+            .function_type = "spatial",
+            .crash = CrashType::kNullPointerDereference,
+            .pattern = "P3.3",
+            .trigger = TriggerKind::kBlobNotGeometry,
+            .description = "BOUNDARY walks the ring table of a blob that never "
+                           "decoded into a polygon"});
+  bugs.Add({.function = "ST_X",
+            .function_type = "spatial",
+            .crash = CrashType::kNullPointerDereference,
+            .pattern = "P3.3",
+            .trigger = TriggerKind::kArgTypeIs,
+            .param_type = TypeKind::kBlob,
+            .description = "ST_X reads coordinates from the unvalidated binary "
+                           "payload pointer"});
+  bugs.Add({.function = "ST_NUMPOINTS",
+            .function_type = "spatial",
+            .crash = CrashType::kStackOverflow,
+            .pattern = "P3.3",
+            .trigger = TriggerKind::kArgTypeIs,
+            .param_type = TypeKind::kDate,
+            .description = "ST_NUMPOINTS retries temporal arguments through a "
+                           "mutually recursive conversion path"});
+  bugs.Add({.function = "ST_LENGTH",
+            .function_type = "spatial",
+            .crash = CrashType::kSegmentationViolation,
+            .pattern = "P3.2",
+            .trigger = TriggerKind::kArgTypeIs,
+            .param_type = TypeKind::kJson,
+            .description = "ST_LENGTH measures a JSON argument's point array using "
+                           "the document's member count"});
+  // --- string (4) ---------------------------------------------------------------------
+  bugs.Add({.function = "FORMAT",
+            .function_type = "string",
+            .crash = CrashType::kHeapBufferOverflow,
+            .pattern = "P1.2",
+            .trigger = TriggerKind::kIntAtLeast,
+            .arg_index = 1,
+            .threshold = 32,
+            .description = "FORMAT switches to scientific notation past 31 fraction "
+                           "digits and writes past the short result "
+                           "(MDEV-23415 analogue)"});
+  bugs.Add({.function = "SUBSTR",
+            .function_type = "string",
+            .crash = CrashType::kNullPointerDereference,
+            .pattern = "P1.2",
+            .trigger = TriggerKind::kIntAtMost,
+            .arg_index = 1,
+            .threshold = -1000000000LL,
+            .description = "SUBSTR rewinds hugely negative start offsets through a "
+                           "NULL charset iterator"});
+  bugs.Add({.function = "REPEAT",
+            .function_type = "string",
+            .crash = CrashType::kStackOverflow,
+            .pattern = "P3.1",
+            .trigger = TriggerKind::kStringLengthAtLeast,
+            .arg_index = 0,
+            .threshold = 100000,
+            .description = "REPEAT re-enters its own copy loop for 100 KB subjects "
+                           "built by nested REPEATs"});
+  bugs.Add({.function = "REVERSE",
+            .function_type = "string",
+            .crash = CrashType::kNullPointerDereference,
+            .pattern = "P3.3",
+            .trigger = TriggerKind::kArgTypeIs,
+            .param_type = TypeKind::kGeometry,
+            .description = "REVERSE swaps bytes of the geometry header instead of a "
+                           "string payload"});
+  return db;
+}
+
+}  // namespace soft

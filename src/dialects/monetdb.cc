@@ -1,0 +1,212 @@
+// MonetDB dialect: the smallest catalog of the seven (Table 5: 171 triggered
+// functions). Analytics-focused: no XML, no spatial, no arrays/maps, no
+// sequences, and a reduced string/date surface. Its 19 injected bugs
+// reproduce the MonetDB rows of Table 4 (7 aggregate, 3 condition, 1 math,
+// 6 string, 2 system).
+#include "src/dialects/dialect_common.h"
+#include "src/dialects/dialects.h"
+
+namespace soft {
+
+std::unique_ptr<Database> MakeMonetdbDialect() {
+  EngineConfig config;
+  config.name = "monetdb";
+  config.cast_options.strict = false;
+  auto db = std::make_unique<Database>(config);
+
+  RemoveFunctions(
+      db->registry(),
+      {"UPDATEXML",    "EXTRACTVALUE",  "XML_VALID",    "XML_ROOT",
+       "XML_ELEMENT_COUNT", "ST_GEOMFROMTEXT", "ST_ASTEXT", "ST_ASBINARY",
+       "BOUNDARY",     "POINT",         "ST_X",         "ST_Y",
+       "ST_NUMPOINTS", "ST_LENGTH",     "ST_DISTANCE",  "ST_EQUALS",
+       "ST_ISVALID",   "ARRAY_LENGTH",  "ELEMENT_AT",   "ARRAY_CONCAT",
+       "ARRAY_APPEND", "ARRAY_CONTAINS", "ARRAY_SLICE", "ARRAY_REVERSE",
+       "ARRAY_POSITION", "MAP",         "MAP_KEYS",     "MAP_VALUES",
+       "MAP_EXTRACT",  "CARDINALITY",   "NEXTVAL",      "LASTVAL",
+       "SETVAL",       "COLUMN_CREATE", "COLUMN_JSON",  "ELT",
+       "FIELD",        "FORMAT",        "SOUNDEX",      "TO_BASE64",
+       "FROM_BASE64",  "REGEXP_REPLACE", "REGEXP_LIKE", "INITCAP",
+       "TRANSLATE",    "QUOTE",         "SPACE",        "HEX",
+       "UNHEX",        "MD5",           "SHA1",         "CRC32",
+       "BIT_COUNT",    "INET6_ATON",    "INET6_NTOA",   "INET_ATON",
+       "INET_NTOA",    "TODECIMALSTRING", "MAKEDATE",   "FROM_DAYS",
+       "TO_DAYS",      "WEEK",          "QUARTER",      "DATE_FORMAT",
+       "ADDDATE",      "ADD_MONTHS",    "JSON_OBJECT",  "JSON_ARRAY",
+       "JSON_QUOTE",   "JSON_UNQUOTE",  "JSON_MERGE_PRESERVE",
+       "JSON_CONTAINS_PATH", "JSON_KEYS", "JSON_DEPTH", "JSONB_OBJECT_AGG",
+       "JSON_ARRAYAGG", "BIT_AND",      "BIT_OR",       "BIT_XOR",
+       "MEDIAN",       "GREATEST",      "LEAST",        "DECODE",
+       "NVL",          "NVL2",          "IF",           "INTERVAL",
+       "CONVERT",      "TO_JSON",       "BENCHMARK",    "CHARSET",
+       "COLLATION",    "COERCIBILITY",  "FOUND_ROWS",   "CONTAINS",
+       "UUID",         "SYS_STAT",      "LOG2",         "ATAN2",
+       "RAND",         "STRCMP",        "CHR"});
+
+  BugAdder bugs(*db, "monetdb");
+  // --- aggregate (7): NPD x6, SEGV; P1.2, P2.1, P2.2 x2, P2.3 x2, P3.3 ---------
+  bugs.Add({.function = "SUM",
+            .function_type = "aggregate",
+            .crash = CrashType::kNullPointerDereference,
+            .pattern = "P1.2",
+            .trigger = TriggerKind::kArgIsStar,
+            .description = "SUM(*) aggregates over a null BAT descriptor"});
+  bugs.Add({.function = "AVG",
+            .function_type = "aggregate",
+            .crash = CrashType::kNullPointerDereference,
+            .pattern = "P2.1",
+            .trigger = TriggerKind::kArgTypeIs,
+            .param_type = TypeKind::kBlob,
+            .description = "AVG fetches the numeric tail pointer of explicitly cast "
+                           "binary items"});
+  bugs.Add({.function = "MIN",
+            .function_type = "aggregate",
+            .crash = CrashType::kNullPointerDereference,
+            .pattern = "P2.2",
+            .trigger = TriggerKind::kArgTypeIs,
+            .param_type = TypeKind::kDateTime,
+            .description = "MIN's comparator uses an unset ordering function for "
+                           "DATETIME items unified by UNION"});
+  bugs.Add({.function = "MAX",
+            .function_type = "aggregate",
+            .crash = CrashType::kNullPointerDereference,
+            .pattern = "P2.2",
+            .trigger = TriggerKind::kArgTypeIs,
+            .param_type = TypeKind::kDate,
+            .description = "MAX's comparator uses an unset ordering function for "
+                           "DATE items unified by UNION"});
+  bugs.Add({.function = "STDDEV",
+            .function_type = "aggregate",
+            .crash = CrashType::kNullPointerDereference,
+            .pattern = "P2.3",
+            .trigger = TriggerKind::kStringContains,
+            .param_text = ".",
+            .description = "STDDEV parses decimal-pointed string arguments borrowed "
+                           "from other functions through a null numeric adapter"});
+  bugs.Add({.function = "VARIANCE",
+            .function_type = "aggregate",
+            .crash = CrashType::kNullPointerDereference,
+            .pattern = "P2.3",
+            .trigger = TriggerKind::kStringContains,
+            .param_text = "$",
+            .description = "VARIANCE treats path-shaped string arguments borrowed "
+                           "from JSON functions as numeric cursors"});
+  bugs.Add({.function = "GROUP_CONCAT",
+            .function_type = "aggregate",
+            .crash = CrashType::kSegmentationViolation,
+            .pattern = "P3.3",
+            .trigger = TriggerKind::kArgTypeIs,
+            .param_type = TypeKind::kJson,
+            .description = "GROUP_CONCAT renders JSON documents from nested JSON "
+                           "functions via a stale serializer pointer"});
+  // --- condition (3): NPD x2, SEGV; P2.2, P3.2, P3.3 ------------------------------
+  bugs.Add({.function = "IFNULL",
+            .function_type = "condition",
+            .crash = CrashType::kNullPointerDereference,
+            .pattern = "P2.2",
+            .trigger = TriggerKind::kArgTypeIs,
+            .arg_index = 0,
+            .param_type = TypeKind::kDateTime,
+            .description = "IFNULL tests the nil pattern of UNION-unified DATETIME "
+                           "items against a null template"});
+  bugs.Add({.function = "NULLIF",
+            .function_type = "condition",
+            .crash = CrashType::kNullPointerDereference,
+            .pattern = "P3.2",
+            .trigger = TriggerKind::kArgTypeIs,
+            .param_type = TypeKind::kJson,
+            .description = "NULLIF compares JSON documents via an unbound equality "
+                           "implementation"});
+  bugs.Add({.function = "COALESCE",
+            .function_type = "condition",
+            .crash = CrashType::kSegmentationViolation,
+            .pattern = "P3.3",
+            .trigger = TriggerKind::kArgTypeIs,
+            .param_type = TypeKind::kBlob,
+            .description = "COALESCE copies binary candidates from nested codec "
+                           "functions with the wrong width"});
+  // --- math (1): NPD (P2.2) ---------------------------------------------------------
+  bugs.Add({.function = "ROUND",
+            .function_type = "math",
+            .crash = CrashType::kNullPointerDereference,
+            .pattern = "P2.2",
+            .trigger = TriggerKind::kArgTypeIs,
+            .arg_index = 0,
+            .param_type = TypeKind::kDateTime,
+            .description = "ROUND scales UNION-unified DATETIME items through a "
+                           "null decimal context"});
+  // --- string (6): NPD x5, HBOF; P1.2, P1.3, P1.4, P2.3 x3 ----------------------------
+  bugs.Add({.function = "LPAD",
+            .function_type = "string",
+            .crash = CrashType::kNullPointerDereference,
+            .pattern = "P1.2",
+            .trigger = TriggerKind::kIntAtMost,
+            .arg_index = 1,
+            .threshold = -1000000,
+            .description = "LPAD reserves a negative target length via a null "
+                           "allocator result"});
+  bugs.Add({.function = "LOCATE",
+            .function_type = "string",
+            .crash = CrashType::kNullPointerDereference,
+            .pattern = "P1.3",
+            .trigger = TriggerKind::kStringContains,
+            .arg_index = 0,
+            .param_text = "99999",
+            .description = "LOCATE's Boyer-Moore table builder mis-seeds on "
+                           "digit-stuffed needles"});
+  bugs.Add({.function = "TRIM",
+            .function_type = "string",
+            .crash = CrashType::kNullPointerDereference,
+            .pattern = "P1.4",
+            .trigger = TriggerKind::kStringContains,
+            .arg_index = 0,
+            .param_text = "                ",
+            .description = "TRIM collapses 16+ repeated spaces through a null "
+                           "run-length cursor"});
+  bugs.Add({.function = "REPLACE",
+            .function_type = "string",
+            .crash = CrashType::kNullPointerDereference,
+            .pattern = "P2.3",
+            .trigger = TriggerKind::kArgTypeIs,
+            .arg_index = 2,
+            .param_type = TypeKind::kDate,
+            .description = "REPLACE stringifies a DATE replacement borrowed from "
+                           "date functions via a null renderer"});
+  bugs.Add({.function = "CONCAT",
+            .function_type = "string",
+            .crash = CrashType::kNullPointerDereference,
+            .pattern = "P2.3",
+            .trigger = TriggerKind::kArgTypeIs,
+            .param_type = TypeKind::kJson,
+            .description = "CONCAT appends JSON arguments using the document "
+                           "pointer as a char buffer"});
+  bugs.Add({.function = "SUBSTR",
+            .function_type = "string",
+            .crash = CrashType::kHeapBufferOverflow,
+            .pattern = "P2.3",
+            .trigger = TriggerKind::kStringContains,
+            .arg_index = 0,
+            .param_text = "$[",
+            .description = "SUBSTR miscounts multi-byte positions in JSON-path "
+                           "subjects borrowed from JSON functions"});
+  // --- system (2): SEGV (P1.2), DBZ (P2.3) --------------------------------------------
+  bugs.Add({.function = "SLEEP",
+            .function_type = "system",
+            .crash = CrashType::kSegmentationViolation,
+            .pattern = "P1.2",
+            .trigger = TriggerKind::kArgIsNull,
+            .arg_index = 0,
+            .description = "SLEEP reads the duration from a nil item without the "
+                           "nil check"});
+  bugs.Add({.function = "TYPEOF",
+            .function_type = "system",
+            .crash = CrashType::kDivideByZero,
+            .pattern = "P2.3",
+            .trigger = TriggerKind::kArgTypeIs,
+            .param_type = TypeKind::kDecimal,
+            .description = "TYPEOF derives the display scale of exact decimals by "
+                           "dividing by their zero-initialized precision"});
+  return db;
+}
+
+}  // namespace soft

@@ -1,0 +1,166 @@
+// MySQL dialect: lenient casts, rich string/date/XML surface, 16 injected
+// bugs reproducing the MySQL rows of Table 4 (6 aggregate, 1 date, 1 spatial,
+// 2 string, 5 system, 1 xml).
+#include "src/dialects/dialect_common.h"
+#include "src/dialects/dialects.h"
+
+namespace soft {
+
+std::unique_ptr<Database> MakeMysqlDialect() {
+  EngineConfig config;
+  config.name = "mysql";
+  config.cast_options.strict = false;
+  auto db = std::make_unique<Database>(config);
+
+  RemoveFunctions(db->registry(),
+                  {"ARRAY_LENGTH", "ELEMENT_AT", "ARRAY_CONCAT", "ARRAY_APPEND",
+                   "ARRAY_CONTAINS", "ARRAY_SLICE", "ARRAY_REVERSE", "ARRAY_POSITION",
+                   "MAP", "MAP_KEYS", "MAP_VALUES", "MAP_EXTRACT", "CARDINALITY",
+                   "NEXTVAL", "LASTVAL", "SETVAL", "SPLIT_PART", "TO_NUMBER",
+                   "TODECIMALSTRING", "CONTAINS", "INITCAP", "TRANSLATE", "CHR",
+                   "XML_VALID", "XML_ROOT", "XML_ELEMENT_COUNT", "JSONB_OBJECT_AGG",
+                   "BOOL_AND", "BOOL_OR", "MEDIAN", "STRING_AGG", "SYS_STAT",
+                   "SPLIT_PART", "DECODE", "NVL", "NVL2", "ADD_MONTHS", "LOG2"});
+
+  BugAdder bugs(*db, "mysql");
+  // --- aggregate (6): NPD x4 (P3.3), SEGV (P2.1), GBOF (P1.3) --------------
+  bugs.Add({.function = "SUM",
+            .function_type = "aggregate",
+            .crash = CrashType::kNullPointerDereference,
+            .pattern = "P3.3",
+            .trigger = TriggerKind::kArgTypeIs,
+            .param_type = TypeKind::kGeometry,
+            .description = "SUM dereferences the numeric payload slot of a geometry "
+                           "argument produced by a nested spatial function"});
+  bugs.Add({.function = "AVG",
+            .function_type = "aggregate",
+            .crash = CrashType::kNullPointerDereference,
+            .pattern = "P3.3",
+            .trigger = TriggerKind::kArgTypeIs,
+            .param_type = TypeKind::kBlob,
+            .description = "AVG assumes a decimal item handle for binary arguments "
+                           "coming from nested codec functions"});
+  bugs.Add({.function = "MAX",
+            .function_type = "aggregate",
+            .crash = CrashType::kNullPointerDereference,
+            .pattern = "P3.3",
+            .trigger = TriggerKind::kArgTypeIs,
+            .param_type = TypeKind::kJson,
+            .description = "MAX's comparator fetches a collation handle that is NULL "
+                           "for JSON documents returned by nested JSON functions"});
+  bugs.Add({.function = "GROUP_CONCAT",
+            .function_type = "aggregate",
+            .crash = CrashType::kNullPointerDereference,
+            .pattern = "P3.3",
+            .trigger = TriggerKind::kArgTypeIs,
+            .param_type = TypeKind::kGeometry,
+            .description = "GROUP_CONCAT stringifies geometry items through an "
+                           "uninitialized conversion buffer"});
+  bugs.Add({.function = "SUM",
+            .function_type = "aggregate",
+            .crash = CrashType::kSegmentationViolation,
+            .pattern = "P2.1",
+            .trigger = TriggerKind::kArgTypeIs,
+            .param_type = TypeKind::kDate,
+            .description = "SUM over explicitly cast DATE values indexes the numeric "
+                           "accumulator array with the temporal type tag"});
+  bugs.Add({.function = "AVG",
+            .function_type = "aggregate",
+            .crash = CrashType::kGlobalBufferOverflow,
+            .pattern = "P1.3",
+            .trigger = TriggerKind::kDecimalDigitsAtLeast,
+            .threshold = 60,
+            .description = "AVG writes a 60+-digit exact decimal into a fixed "
+                           "global digit buffer (Listing 6 analogue)"});
+  // --- date (1): SEGV (P3.3) -----------------------------------------------
+  bugs.Add({.function = "DATEDIFF",
+            .function_type = "date",
+            .crash = CrashType::kSegmentationViolation,
+            .pattern = "P3.3",
+            .trigger = TriggerKind::kArgTypeIs,
+            .arg_index = 0,
+            .param_type = TypeKind::kBlob,
+            .description = "DATEDIFF interprets a binary argument from a nested codec "
+                           "function as a packed temporal value"});
+  // --- spatial (1): UAF (P3.3) ---------------------------------------------
+  bugs.Add({.function = "ST_ASTEXT",
+            .function_type = "spatial",
+            .crash = CrashType::kUseAfterFree,
+            .pattern = "P3.3",
+            .trigger = TriggerKind::kBlobNotGeometry,
+            .description = "ST_ASTEXT frees the decode scratch buffer on malformed "
+                           "geometry blobs and then renders from it"});
+  // --- string (2): HBOF x2 (P3.2, P3.3) -------------------------------------
+  bugs.Add({.function = "REPLACE",
+            .function_type = "string",
+            .crash = CrashType::kHeapBufferOverflow,
+            .pattern = "P3.2",
+            .trigger = TriggerKind::kArgTypeIs,
+            .param_type = TypeKind::kJson,
+            .description = "REPLACE sizes its output from the JSON handle instead of "
+                           "the serialized document"});
+  bugs.Add({.function = "LPAD",
+            .function_type = "string",
+            .crash = CrashType::kHeapBufferOverflow,
+            .pattern = "P3.3",
+            .trigger = TriggerKind::kArgTypeIs,
+            .arg_index = 0,
+            .param_type = TypeKind::kBlob,
+            .description = "LPAD miscounts pad length for binary subjects produced by "
+                           "nested codec functions"});
+  // --- system (5): NPD x4 (P3.3), HBOF (P3.2) --------------------------------
+  bugs.Add({.function = "CHARSET",
+            .function_type = "system",
+            .crash = CrashType::kNullPointerDereference,
+            .pattern = "P3.3",
+            .trigger = TriggerKind::kArgTypeIs,
+            .param_type = TypeKind::kGeometry,
+            .description = "CHARSET reads the charset pointer of geometry items, "
+                           "which is never initialized"});
+  bugs.Add({.function = "COLLATION",
+            .function_type = "system",
+            .crash = CrashType::kNullPointerDereference,
+            .pattern = "P3.3",
+            .trigger = TriggerKind::kArgTypeIs,
+            .param_type = TypeKind::kDate,
+            .description = "COLLATION dereferences the collation slot of temporal "
+                           "items produced by nested date functions"});
+  bugs.Add({.function = "COERCIBILITY",
+            .function_type = "system",
+            .crash = CrashType::kNullPointerDereference,
+            .pattern = "P3.3",
+            .trigger = TriggerKind::kArgTypeIs,
+            .param_type = TypeKind::kBlob,
+            .description = "COERCIBILITY walks the collation chain of binary items "
+                           "whose head pointer is NULL"});
+  bugs.Add({.function = "BENCHMARK",
+            .function_type = "system",
+            .crash = CrashType::kNullPointerDereference,
+            .pattern = "P3.3",
+            .trigger = TriggerKind::kArgTypeIs,
+            .arg_index = 1,
+            .param_type = TypeKind::kJson,
+            .description = "BENCHMARK re-evaluates JSON expression items after their "
+                           "document arena was released"});
+  bugs.Add({.function = "SLEEP",
+            .function_type = "system",
+            .crash = CrashType::kHeapBufferOverflow,
+            .pattern = "P3.2",
+            .trigger = TriggerKind::kArgTypeIs,
+            .arg_index = 0,
+            .param_type = TypeKind::kDecimal,
+            .description = "SLEEP converts exact-decimal durations through an "
+                           "undersized stack rendering of the digit string"});
+  // --- xml (1): UAF (P3.2) ---------------------------------------------------
+  bugs.Add({.function = "UPDATEXML",
+            .function_type = "xml",
+            .crash = CrashType::kUseAfterFree,
+            .pattern = "P3.2",
+            .trigger = TriggerKind::kArgTypeIs,
+            .param_type = TypeKind::kJson,
+            .description = "UPDATEXML keeps a reference into the temporary string of "
+                           "a JSON argument after the wrapper frees it"});
+  return db;
+}
+
+}  // namespace soft

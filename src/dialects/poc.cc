@@ -1,0 +1,179 @@
+// PoC construction: turns a BugSpec into a concrete SQL statement that
+// triggers it, by splicing the boundary argument into the target function's
+// registry example. Used by the bug-oracle tests (every injected bug must be
+// demonstrably triggerable), the Table 4 bench, and the bug reporter.
+#include "src/dialects/dialects.h"
+#include "src/sqlparser/parser.h"
+
+namespace soft {
+namespace {
+
+// Canonical expression producing a value of `kind` (parse- and
+// evaluate-clean in every dialect).
+Result<ExprPtr> CanonicalValueExpr(TypeKind kind) {
+  switch (kind) {
+    case TypeKind::kBool:
+      return MakeLiteral(Value::Boolean(true));
+    case TypeKind::kInt:
+      return MakeLiteral(Value::Int(7));
+    case TypeKind::kDouble:
+      return MakeLiteral(Value::DoubleVal(1.5));
+    case TypeKind::kDecimal: {
+      SOFT_ASSIGN_OR_RETURN(Decimal d, Decimal::FromString("1.5"));
+      return MakeLiteral(Value::Dec(std::move(d)));
+    }
+    case TypeKind::kString:
+      return MakeLiteral(Value::Str("zz"));
+    case TypeKind::kBlob:
+      return MakeLiteral(Value::BlobVal(std::string("\x01\x02", 2)));
+    case TypeKind::kDate:
+      return MakeCast(MakeLiteral(Value::Str("2024-01-01")), TypeKind::kDate);
+    case TypeKind::kDateTime:
+      return MakeCast(MakeLiteral(Value::Str("2024-01-01 00:00:00")),
+                      TypeKind::kDateTime);
+    case TypeKind::kJson:
+      return MakeCast(MakeLiteral(Value::Str("[1]")), TypeKind::kJson);
+    case TypeKind::kGeometry:
+      return MakeCast(MakeLiteral(Value::Str("POINT(1 2)")), TypeKind::kGeometry);
+    case TypeKind::kInet:
+      return MakeCast(MakeLiteral(Value::Str("1.2.3.4")), TypeKind::kInet);
+    case TypeKind::kArray: {
+      std::vector<ExprPtr> items;
+      items.push_back(MakeLiteral(Value::Int(1)));
+      return MakeArrayCtor(std::move(items));
+    }
+    case TypeKind::kRow: {
+      std::vector<ExprPtr> fields;
+      fields.push_back(MakeLiteral(Value::Int(1)));
+      fields.push_back(MakeLiteral(Value::Int(1)));
+      return MakeRowCtor(std::move(fields));
+    }
+    case TypeKind::kMap: {
+      std::vector<ExprPtr> keys;
+      keys.push_back(MakeLiteral(Value::Str("k")));
+      std::vector<ExprPtr> vals;
+      vals.push_back(MakeLiteral(Value::Int(1)));
+      std::vector<ExprPtr> args;
+      args.push_back(MakeArrayCtor(std::move(keys)));
+      args.push_back(MakeArrayCtor(std::move(vals)));
+      return MakeFunctionCall("MAP", std::move(args));
+    }
+    default:
+      return Unsupported("no canonical value for this type kind");
+  }
+}
+
+// Expression producing a string of `length` bytes; prefers a nested REPEAT
+// (the Pattern 3.1 shape) when the dialect ships it.
+ExprPtr LongStringExpr(const Database& db, int64_t length, char fill) {
+  if (db.registry().Contains("REPEAT")) {
+    std::vector<ExprPtr> args;
+    args.push_back(MakeLiteral(Value::Str(std::string(1, fill))));
+    args.push_back(MakeLiteral(Value::Int(length)));
+    return MakeFunctionCall("REPEAT", std::move(args));
+  }
+  return MakeLiteral(Value::Str(std::string(static_cast<size_t>(length), fill)));
+}
+
+// Builds the boundary-argument expression for a spec's trigger.
+Result<ExprPtr> TriggerArgExpr(const Database& db, const BugSpec& spec) {
+  switch (spec.trigger) {
+    case TriggerKind::kArgIsStar:
+      return MakeLiteral(Value::Star());
+    case TriggerKind::kArgIsNull:
+      return MakeLiteral(Value::Null());
+    case TriggerKind::kArgEmptyString:
+      return MakeLiteral(Value::Str(""));
+    case TriggerKind::kIntAtLeast:
+      return MakeLiteral(Value::Int(spec.threshold));
+    case TriggerKind::kIntAtMost:
+      return MakeLiteral(Value::Int(spec.threshold));
+    case TriggerKind::kDecimalDigitsAtLeast:
+    case TriggerKind::kDecimalFractionAtLeast: {
+      std::string text = "1.";
+      text.append(static_cast<size_t>(spec.threshold), '9');
+      SOFT_ASSIGN_OR_RETURN(Decimal d, Decimal::FromString(text));
+      return MakeLiteral(Value::Dec(std::move(d)));
+    }
+    case TriggerKind::kStringLengthAtLeast:
+      return LongStringExpr(db, spec.threshold, 'a');
+    case TriggerKind::kJsonDepthAtLeast:
+      return LongStringExpr(db, spec.threshold + 1, '[');
+    case TriggerKind::kArgTypeIs:
+      return CanonicalValueExpr(spec.param_type);
+    case TriggerKind::kBlobNotGeometry:
+      // INET6_ATON output when the dialect has it (the Case 6 chain),
+      // otherwise a raw blob literal that fails geometry decoding.
+      if (db.registry().Contains("INET6_ATON")) {
+        std::vector<ExprPtr> args;
+        args.push_back(MakeLiteral(Value::Str("255.255.255.255")));
+        return MakeFunctionCall("INET6_ATON", std::move(args));
+      }
+      return MakeLiteral(Value::BlobVal(std::string("\xFF\xFF", 2)));
+    case TriggerKind::kStringContains:
+      return MakeLiteral(Value::Str(spec.param_text));
+    default:
+      return Unsupported("trigger kind has no argument-level PoC shape");
+  }
+}
+
+}  // namespace
+
+Result<std::string> BuildPocSql(const Database& db, const BugSpec& spec) {
+  // Parse-stage bugs key on the raw statement text.
+  if (spec.function == "PARSER") {
+    if (spec.trigger == TriggerKind::kStringContains) {
+      return "SELECT '" + spec.param_text + "'";
+    }
+    if (spec.trigger == TriggerKind::kStringLengthAtLeast) {
+      return "SELECT '" + std::string(static_cast<size_t>(spec.threshold), 'a') + "'";
+    }
+    return Unsupported("unsupported parser-bug trigger");
+  }
+
+  const FunctionDef* def = db.registry().Find(spec.function);
+  if (def == nullptr) {
+    return NotFound("bug host function " + spec.function + " is not in this dialect");
+  }
+  if (def->example.empty()) {
+    return Internal("function " + spec.function + " has no registry example");
+  }
+  SOFT_ASSIGN_OR_RETURN(ExprPtr call, ParseExpression(def->example));
+  if (call->kind != ExprKind::kFunctionCall) {
+    return Internal("registry example of " + spec.function + " is not a call");
+  }
+
+  switch (spec.trigger) {
+    case TriggerKind::kAlways:
+      break;  // the example itself triggers
+    case TriggerKind::kDistinctFlag:
+      call->distinct_arg = true;
+      break;
+    case TriggerKind::kDistinctAndAllArgsString: {
+      call->distinct_arg = true;
+      for (ExprPtr& arg : call->args) {
+        arg = MakeLiteral(Value::Str("zz"));
+      }
+      break;
+    }
+    case TriggerKind::kArgCountAtLeast: {
+      while (static_cast<int64_t>(call->args.size()) < spec.threshold) {
+        call->args.push_back(call->args.front()->Clone());
+      }
+      break;
+    }
+    case TriggerKind::kCastTargetIs:
+      return "SELECT CAST('1' AS " + std::string(TypeKindName(spec.param_type)) + ")";
+    default: {
+      SOFT_ASSIGN_OR_RETURN(ExprPtr boundary, TriggerArgExpr(db, spec));
+      const size_t index = spec.arg_index >= 0 ? static_cast<size_t>(spec.arg_index) : 0;
+      while (call->args.size() <= index) {
+        call->args.push_back(MakeLiteral(Value::Int(1)));
+      }
+      call->args[index] = std::move(boundary);
+    }
+  }
+  return "SELECT " + call->ToSql();
+}
+
+}  // namespace soft

@@ -1,0 +1,42 @@
+// PostgreSQL dialect.
+//
+// Strict type system (CastOptions::strict): malformed text in casts raises
+// errors and implicit string→numeric coercion is refused. The paper
+// attributes PostgreSQL's single Table 4 bug to exactly this strictness —
+// most boundary casts are rejected before reaching function code. Its one
+// injected bug reproduces CVE-2023-5868: JSONB_OBJECT_AGG mishandling
+// unknown-type (string-literal) arguments under DISTINCT.
+#include "src/dialects/dialect_common.h"
+#include "src/dialects/dialects.h"
+
+namespace soft {
+
+std::unique_ptr<Database> MakePostgresqlDialect() {
+  EngineConfig config;
+  config.name = "postgresql";
+  config.cast_options.strict = true;
+  auto db = std::make_unique<Database>(config);
+
+  // MySQL-isms and engine extras PostgreSQL does not ship.
+  RemoveFunctions(db->registry(),
+                  {"ELT", "FIELD", "FORMAT", "INET6_ATON", "INET6_NTOA", "INET_ATON",
+                   "INET_NTOA", "COLUMN_CREATE", "COLUMN_JSON", "UPDATEXML",
+                   "EXTRACTVALUE", "XML_ROOT", "XML_ELEMENT_COUNT", "TODECIMALSTRING",
+                   "MAP", "MAP_KEYS", "MAP_VALUES", "MAP_EXTRACT", "BENCHMARK",
+                   "FOUND_ROWS", "CHARSET", "COLLATION", "COERCIBILITY", "CONTAINS",
+                   "FROM_DAYS", "TO_DAYS", "MAKEDATE", "LOCATE", "INSTR", "UNHEX",
+                   "CONVERT", "IF", "ISNULL", "DECODE"});
+
+  BugAdder bugs(*db, "postgresql");
+  bugs.Add({.function = "JSONB_OBJECT_AGG",
+            .function_type = "aggregate",
+            .crash = CrashType::kHeapBufferOverflow,
+            .pattern = "P2.3",
+            .trigger = TriggerKind::kDistinctAndAllArgsString,
+            .description = "unknown-type literal arguments under DISTINCT are read as "
+                           "'\\0'-terminated strings, disclosing adjacent heap memory "
+                           "(CVE-2023-5868 analogue)"});
+  return db;
+}
+
+}  // namespace soft

@@ -1,0 +1,222 @@
+// Database: the statement pipeline (parse → optimize → execute) and catalog
+// maintenance.
+#include "src/engine/database.h"
+
+#include "src/engine/exec_internal.h"
+#include "src/util/str_util.h"
+
+namespace soft {
+
+Database::Database(EngineConfig config) : config_(std::move(config)) {
+  RegisterAllBuiltins(registry_);
+}
+
+const Table* Database::FindTable(const std::string& name) const {
+  const auto it = tables_.find(AsciiLower(name));
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+Status Database::CreateTable(const CreateTableStmt& stmt) {
+  const std::string key = AsciiLower(stmt.table);
+  if (tables_.count(key) != 0) {
+    return InvalidArgument("table '" + stmt.table + "' already exists");
+  }
+  if (stmt.columns.empty()) {
+    return InvalidArgument("table must have at least one column");
+  }
+  Table table;
+  table.name = stmt.table;
+  table.columns = stmt.columns;
+  tables_[key] = std::move(table);
+  return OkStatus();
+}
+
+Status Database::DropTable(const DropTableStmt& stmt) {
+  const std::string key = AsciiLower(stmt.table);
+  if (tables_.erase(key) == 0 && !stmt.if_exists) {
+    return NotFound("unknown table '" + stmt.table + "'");
+  }
+  return OkStatus();
+}
+
+Status Database::Insert(const InsertStmt& stmt, std::optional<CrashInfo>* crash) {
+  const std::string key = AsciiLower(stmt.table);
+  const auto it = tables_.find(key);
+  if (it == tables_.end()) {
+    return NotFound("unknown table '" + stmt.table + "'");
+  }
+  Table& table = it->second;
+
+  // Map INSERT column list to table positions.
+  std::vector<int> positions;
+  if (stmt.columns.empty()) {
+    for (size_t i = 0; i < table.columns.size(); ++i) {
+      positions.push_back(static_cast<int>(i));
+    }
+  } else {
+    for (const std::string& name : stmt.columns) {
+      const int idx = table.ColumnIndex(name);
+      if (idx < 0) {
+        return NotFound("unknown column '" + name + "' in INSERT");
+      }
+      positions.push_back(idx);
+    }
+  }
+
+  ExecContext ec;
+  ec.db = this;
+  ec.stage = Stage::kExecute;
+  Evaluator eval(ec);
+  RowBinding no_row;
+
+  for (const std::vector<ExprPtr>& value_row : stmt.rows) {
+    if (value_row.size() != positions.size()) {
+      return InvalidArgument("INSERT value count does not match column count");
+    }
+    ValueList row(table.columns.size(), Value::Null());
+    for (size_t i = 0; i < value_row.size(); ++i) {
+      Result<Value> evaluated = eval.Eval(*value_row[i], no_row);
+      if (!evaluated.ok()) {
+        if (crash != nullptr) {
+          *crash = std::move(ec.crash);
+        }
+        return evaluated.status();
+      }
+      Value v = std::move(evaluated).value();
+      const ColumnDef& col = table.columns[static_cast<size_t>(positions[i])];
+      if (!v.is_null() && v.kind() != col.type) {
+        // Implicit conversion to the column type — fault-checked.
+        const Result<Value> cast = CheckedCast(ec, v, col.type);
+        if (!cast.ok()) {
+          if (crash != nullptr) {
+            *crash = std::move(ec.crash);
+          }
+          return cast.status();
+        }
+        v = *cast;
+      }
+      if (v.is_null() && col.not_null) {
+        return InvalidArgument("NULL into NOT NULL column '" + col.name + "'");
+      }
+      row[static_cast<size_t>(positions[i])] = std::move(v);
+    }
+    table.rows.push_back(std::move(row));
+  }
+  return OkStatus();
+}
+
+StatementResult Database::Execute(std::string_view sql) {
+  StatementResult result;
+
+  // --- Parse stage ---------------------------------------------------------
+  result.stage = Stage::kParse;
+  // Parse-stage injected bugs key on properties of the raw statement text.
+  {
+    ValueList probe = {Value::Str(std::string(sql))};
+    if (auto crash = faults_.CheckFunction("PARSER", probe, 0, false, Stage::kParse)) {
+      result.status = CrashStatus(crash->Summary());
+      result.crash = std::move(*crash);
+      return result;
+    }
+  }
+  Result<Statement> parsed = ParseStatement(sql);
+  if (!parsed.ok()) {
+    result.status = parsed.status();
+    return result;
+  }
+  Statement stmt = std::move(parsed).value();
+
+  StatementResult exec = ExecuteStatement(stmt);
+  return exec;
+}
+
+StatementResult Database::ExecuteStatement(const Statement& stmt_in) {
+  StatementResult result;
+  ExecContext ec;
+  ec.db = this;
+
+  // --- Optimize stage ------------------------------------------------------
+  result.stage = Stage::kOptimize;
+  ec.stage = Stage::kOptimize;
+  // The optimizer may rewrite the tree; clone SELECTs, copy others.
+  Statement stmt;
+  if (stmt_in.is_select()) {
+    stmt.node = stmt_in.select()->Clone();
+  } else if (const auto* create = std::get_if<CreateTableStmt>(&stmt_in.node)) {
+    stmt.node = *create;
+  } else if (const auto* drop = std::get_if<DropTableStmt>(&stmt_in.node)) {
+    stmt.node = *drop;
+  } else if (const auto* insert = std::get_if<InsertStmt>(&stmt_in.node)) {
+    InsertStmt copy;
+    copy.table = insert->table;
+    copy.columns = insert->columns;
+    for (const std::vector<ExprPtr>& row : insert->rows) {
+      std::vector<ExprPtr> row_copy;
+      for (const ExprPtr& v : row) {
+        row_copy.push_back(v->Clone());
+      }
+      copy.rows.push_back(std::move(row_copy));
+    }
+    stmt.node = std::move(copy);
+  }
+
+  const Status opt_status = OptimizeStatement(ec, stmt);
+  if (!opt_status.ok()) {
+    result.status = opt_status;
+    result.crash = std::move(ec.crash);
+    return result;
+  }
+
+  // --- Execute stage -------------------------------------------------------
+  result.stage = Stage::kExecute;
+  ec.stage = Stage::kExecute;
+
+  if (const SelectStmt* sel = stmt.select()) {
+    Result<QueryOutput> out = RunSelect(ec, *sel);
+    if (!out.ok()) {
+      result.status = out.status();
+      result.crash = std::move(ec.crash);
+      return result;
+    }
+    result.columns = std::move(out->columns);
+    result.rows = std::move(out->rows);
+    return result;
+  }
+  if (const auto* create = std::get_if<CreateTableStmt>(&stmt.node)) {
+    result.status = CreateTable(*create);
+    return result;
+  }
+  if (const auto* drop = std::get_if<DropTableStmt>(&stmt.node)) {
+    result.status = DropTable(*drop);
+    return result;
+  }
+  if (const auto* insert = std::get_if<InsertStmt>(&stmt.node)) {
+    result.status = Insert(*insert, &result.crash);
+    return result;
+  }
+  result.status = Internal("unhandled statement kind");
+  return result;
+}
+
+std::vector<StatementResult> Database::ExecuteScript(std::string_view sql) {
+  std::vector<StatementResult> results;
+  const Result<std::vector<Statement>> parsed = ParseScript(sql);
+  if (!parsed.ok()) {
+    StatementResult r;
+    r.stage = Stage::kParse;
+    r.status = parsed.status();
+    results.push_back(std::move(r));
+    return results;
+  }
+  for (const Statement& stmt : parsed.value()) {
+    StatementResult r = ExecuteStatement(stmt);
+    const bool crashed = r.crashed();
+    results.push_back(std::move(r));
+    if (crashed) {
+      break;  // a crashed server does not process the rest of the script
+    }
+  }
+  return results;
+}
+
+}  // namespace soft

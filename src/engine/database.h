@@ -1,0 +1,95 @@
+// The simulated DBMS: parse → optimize → execute over an in-memory catalog.
+//
+// This is the substrate standing in for the paper's seven production DBMSs.
+// Its external interface matches what SOFT needs from a DBMS: send SQL text,
+// receive a result set, an SQL error, or a (simulated) crash with stage
+// attribution. Each of the seven dialects (src/dialects) is a Database
+// configured with its own function catalog, cast strictness, and injected
+// fault corpus.
+#ifndef SRC_ENGINE_DATABASE_H_
+#define SRC_ENGINE_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/coverage/coverage.h"
+#include "src/engine/table.h"
+#include "src/fault/fault.h"
+#include "src/sqlast/ast.h"
+#include "src/sqlfunc/function.h"
+#include "src/sqlparser/parser.h"
+#include "src/util/status.h"
+
+namespace soft {
+
+struct EngineConfig {
+  std::string name = "engine";
+  CastOptions cast_options;
+  EngineLimits limits;
+};
+
+struct StatementResult {
+  // OK, an SQL-level error, or kCrash when an injected fault fired.
+  Status status;
+  // Present exactly when status.code() == kCrash.
+  std::optional<CrashInfo> crash;
+  // Stage the statement reached (the failing stage on error/crash).
+  Stage stage = Stage::kExecute;
+
+  std::vector<std::string> columns;
+  std::vector<ValueList> rows;
+
+  bool ok() const { return status.ok(); }
+  bool crashed() const { return crash.has_value(); }
+};
+
+class Database {
+ public:
+  explicit Database(EngineConfig config = {});
+
+  // Engine-owned collaborators. The registry starts with every builtin
+  // registered; dialects then prune/replace entries and install fault specs.
+  FunctionRegistry& registry() { return registry_; }
+  const FunctionRegistry& registry() const { return registry_; }
+  FaultEngine& faults() { return faults_; }
+  const FaultEngine& faults() const { return faults_; }
+  CoverageTracker& coverage() { return coverage_; }
+  SessionState& session() { return session_; }
+  const EngineConfig& config() const { return config_; }
+
+  // Executes one statement of SQL text through all three stages.
+  StatementResult Execute(std::string_view sql);
+
+  // Executes a ';'-separated script, stopping at the first crash (a crashed
+  // server processes nothing further).
+  std::vector<StatementResult> ExecuteScript(std::string_view sql);
+
+  // Executes a pre-parsed statement (optimize + execute stages only).
+  StatementResult ExecuteStatement(const Statement& stmt);
+
+  // Catalog access.
+  const Table* FindTable(const std::string& name) const;
+  Status CreateTable(const CreateTableStmt& stmt);
+  Status DropTable(const DropTableStmt& stmt);
+  // `crash` (when non-null) receives the CrashInfo if an injected fault
+  // fires while evaluating the VALUES expressions.
+  Status Insert(const InsertStmt& stmt, std::optional<CrashInfo>* crash = nullptr);
+  void ClearTables() { tables_.clear(); }
+  size_t table_count() const { return tables_.size(); }
+
+ private:
+  EngineConfig config_;
+  FunctionRegistry registry_;
+  FaultEngine faults_;
+  CoverageTracker coverage_;
+  SessionState session_;
+  std::map<std::string, Table> tables_;
+};
+
+}  // namespace soft
+
+#endif  // SRC_ENGINE_DATABASE_H_

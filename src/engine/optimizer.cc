@@ -1,0 +1,101 @@
+// Optimize stage: constant folding of literal casts and structural fault
+// checks over function expressions.
+//
+// Finding 1 attributes ~19.6% of the studied crashes to the optimization
+// stage; those bugs fire while the optimizer inspects or partially evaluates
+// function expressions (constant folding, aggregate rewriting). This pass
+// reproduces both behaviours: literal CASTs are folded (through the
+// fault-checked cast, so optimize-stage cast bugs can fire), and every
+// function-call node is structurally checked against optimize-stage specs.
+#include "src/engine/exec_internal.h"
+
+namespace soft {
+namespace {
+
+Status OptimizeExpr(ExecContext& ec, Expr& e);
+
+Status OptimizeSelect(ExecContext& ec, SelectStmt& sel) {
+  for (SelectItem& item : sel.items) {
+    SOFT_RETURN_IF_ERROR(OptimizeExpr(ec, *item.expr));
+  }
+  if (sel.from_subquery != nullptr) {
+    SOFT_RETURN_IF_ERROR(OptimizeSelect(ec, *sel.from_subquery));
+  }
+  if (sel.where != nullptr) {
+    SOFT_RETURN_IF_ERROR(OptimizeExpr(ec, *sel.where));
+  }
+  for (ExprPtr& g : sel.group_by) {
+    SOFT_RETURN_IF_ERROR(OptimizeExpr(ec, *g));
+  }
+  if (sel.having != nullptr) {
+    SOFT_RETURN_IF_ERROR(OptimizeExpr(ec, *sel.having));
+  }
+  for (OrderItem& o : sel.order_by) {
+    SOFT_RETURN_IF_ERROR(OptimizeExpr(ec, *o.expr));
+  }
+  if (sel.union_next != nullptr) {
+    SOFT_RETURN_IF_ERROR(OptimizeSelect(ec, *sel.union_next));
+  }
+  return OkStatus();
+}
+
+Status OptimizeExpr(ExecContext& ec, Expr& e) {
+  for (ExprPtr& a : e.args) {
+    SOFT_RETURN_IF_ERROR(OptimizeExpr(ec, *a));
+  }
+  if (e.subquery != nullptr) {
+    SOFT_RETURN_IF_ERROR(OptimizeSelect(ec, *e.subquery));
+  }
+
+  if (e.kind == ExprKind::kFunctionCall) {
+    // Structural optimize-stage fault check. Literal arguments are visible
+    // to the optimizer (the plan builder sees constants); everything else is
+    // opaque at this stage and modeled as NULL placeholders.
+    ValueList shallow_args;
+    shallow_args.reserve(e.args.size());
+    for (const ExprPtr& a : e.args) {
+      shallow_args.push_back(a->kind == ExprKind::kLiteral ? a->literal : Value::Null());
+    }
+    if (auto crash = ec.db->faults().CheckFunction(e.func_name, shallow_args, 1,
+                                                   e.distinct_arg, Stage::kOptimize)) {
+      return ec.RaiseCrash(std::move(*crash));
+    }
+    return OkStatus();
+  }
+
+  if (e.kind == ExprKind::kCast && e.args[0]->kind == ExprKind::kLiteral) {
+    // Constant-fold the cast; on SQL-level error leave the node in place so
+    // the error surfaces at execution (matching real engines, which defer).
+    const Result<Value> folded = CheckedCast(ec, e.args[0]->literal, e.cast_type);
+    if (!folded.ok()) {
+      if (folded.status().is_crash()) {
+        return folded.status();
+      }
+      return OkStatus();
+    }
+    e.kind = ExprKind::kLiteral;
+    e.literal = *folded;
+    e.args.clear();
+    e.cast_type_text.clear();
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+Status OptimizeStatement(ExecContext& ec, Statement& stmt) {
+  if (SelectStmt* sel = stmt.mutable_select()) {
+    return OptimizeSelect(ec, *sel);
+  }
+  // DDL/DML statements carry expressions only in INSERT VALUES rows.
+  if (auto* insert = std::get_if<InsertStmt>(&stmt.node)) {
+    for (std::vector<ExprPtr>& row : insert->rows) {
+      for (ExprPtr& v : row) {
+        SOFT_RETURN_IF_ERROR(OptimizeExpr(ec, *v));
+      }
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace soft

@@ -1,0 +1,485 @@
+// SELECT execution: FROM resolution, filtering, grouping/aggregation,
+// projection, ordering, DISTINCT, LIMIT, and UNION with fault-checked
+// implicit casts (the Pattern 2.2 surface).
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+#include <unordered_map>
+
+#include "src/engine/exec_internal.h"
+
+namespace soft {
+namespace {
+
+struct FromData {
+  std::vector<std::string> names;
+  std::vector<ValueList> rows;
+  bool has_source = false;  // false → projection over a single empty row
+};
+
+Result<FromData> ResolveFrom(ExecContext& ec, const SelectStmt& sel) {
+  FromData out;
+  if (!sel.from_table.empty()) {
+    const Table* table = ec.db->FindTable(sel.from_table);
+    if (table == nullptr) {
+      return NotFound("unknown table '" + sel.from_table + "'");
+    }
+    for (const ColumnDef& col : table->columns) {
+      out.names.push_back(col.name);
+    }
+    out.rows = table->rows;
+    out.has_source = true;
+    return out;
+  }
+  if (sel.from_subquery != nullptr) {
+    SOFT_ASSIGN_OR_RETURN(QueryOutput sub, RunSelect(ec, *sel.from_subquery));
+    out.names = std::move(sub.columns);
+    out.rows = std::move(sub.rows);
+    out.has_source = true;
+    return out;
+  }
+  return out;
+}
+
+// Const pre-order collection of aggregate function calls.
+void CollectAggregateCalls(const Expr& e, const FunctionRegistry& registry,
+                           std::vector<const Expr*>& out) {
+  if (e.kind == ExprKind::kFunctionCall) {
+    const FunctionDef* def = registry.Find(e.func_name);
+    if (def != nullptr && def->is_aggregate) {
+      out.push_back(&e);
+      return;  // nested aggregates inside an aggregate are not collected
+    }
+  }
+  for (const ExprPtr& a : e.args) {
+    CollectAggregateCalls(*a, registry, out);
+  }
+  // Subqueries run their own aggregation; do not recurse into them.
+}
+
+std::string RenderRowKey(const ValueList& row) {
+  std::string key;
+  for (const Value& v : row) {
+    key += v.ToSqlLiteral();
+    key.push_back('\x1f');
+  }
+  return key;
+}
+
+struct AggState {
+  std::unique_ptr<Aggregator> aggregator;
+  std::set<std::string> distinct_seen;
+};
+
+class GroupedExecution {
+ public:
+  GroupedExecution(ExecContext& ec, const SelectStmt& sel,
+                   std::vector<const Expr*> agg_calls)
+      : ec_(ec), sel_(sel), agg_calls_(std::move(agg_calls)) {}
+
+  Status AccumulateRow(const RowBinding& binding, const ValueList& row_values) {
+    // Group key.
+    std::string key;
+    Evaluator eval(ec_);
+    for (const ExprPtr& g : sel_.group_by) {
+      SOFT_ASSIGN_OR_RETURN(Value v, eval.Eval(*g, binding));
+      key += v.ToSqlLiteral();
+      key.push_back('\x1f');
+    }
+    Group& group = GetGroup(key, row_values);
+    for (const Expr* call : agg_calls_) {
+      SOFT_RETURN_IF_ERROR(AccumulateCall(group, *call, binding));
+    }
+    return OkStatus();
+  }
+
+  // When there are no input rows and no GROUP BY, aggregates still produce
+  // one global row (COUNT over an empty set = 0).
+  void EnsureGlobalGroup() {
+    if (sel_.group_by.empty() && groups_.empty()) {
+      GetGroup("", {});
+    }
+  }
+
+  Result<QueryOutput> Project(const std::vector<std::string>& from_names);
+
+ private:
+  struct Group {
+    ValueList representative;
+    bool has_representative = false;
+    std::map<const Expr*, AggState> states;
+  };
+
+  Group& GetGroup(const std::string& key, const ValueList& row_values) {
+    auto [it, inserted] = groups_.try_emplace(key);
+    if (inserted) {
+      group_order_.push_back(key);
+      for (const Expr* call : agg_calls_) {
+        const FunctionDef* def = ec_.db->registry().Find(call->func_name);
+        it->second.states[call].aggregator = def->aggregator();
+      }
+    }
+    if (!it->second.has_representative && !row_values.empty()) {
+      it->second.representative = row_values;
+      it->second.has_representative = true;
+    }
+    return it->second;
+  }
+
+  Status AccumulateCall(Group& group, const Expr& call, const RowBinding& binding) {
+    Database& db = *ec_.db;
+    const FunctionDef* def = db.registry().Find(call.func_name);
+    Evaluator eval(ec_);
+    ValueList argv;
+    argv.reserve(call.args.size());
+    for (const ExprPtr& a : call.args) {
+      SOFT_ASSIGN_OR_RETURN(Value v, eval.Eval(*a, binding));
+      argv.push_back(std::move(v));
+    }
+    if (auto crash = db.faults().CheckFunction(call.func_name, argv, ec_.call_depth + 1,
+                                               call.distinct_arg, ec_.stage)) {
+      return ec_.RaiseCrash(std::move(*crash));
+    }
+    db.coverage().Trigger(def->name);
+    if (!def->accepts_star) {
+      for (const Value& v : argv) {
+        if (v.is_star()) {
+          return InvalidArgument("'*' is not a valid argument of " + call.func_name);
+        }
+      }
+    }
+    AggState& state = group.states[&call];
+    if (call.distinct_arg) {
+      const std::string key = RenderRowKey(argv);
+      if (!state.distinct_seen.insert(key).second) {
+        return OkStatus();
+      }
+    }
+    FunctionContext ctx = MakeFunctionContext(ec_);
+    ctx.set_current_function(def->name);
+    return state.aggregator->Accumulate(ctx, argv);
+  }
+
+  ExecContext& ec_;
+  const SelectStmt& sel_;
+  std::vector<const Expr*> agg_calls_;
+  std::map<std::string, Group> groups_;
+  std::vector<std::string> group_order_;
+
+ public:
+  friend Result<QueryOutput> RunGrouped(ExecContext&, const SelectStmt&, const FromData&);
+};
+
+Result<QueryOutput> GroupedExecution::Project(const std::vector<std::string>& from_names) {
+  QueryOutput out;
+  for (const SelectItem& item : sel_.items) {
+    out.columns.push_back(item.alias.empty() ? item.expr->ToSql() : item.alias);
+  }
+  for (const std::string& key : group_order_) {
+    Group& group = groups_[key];
+    // Finalize aggregates for this group.
+    std::unordered_map<const Expr*, Value> agg_values;
+    for (auto& [call, state] : group.states) {
+      FunctionContext ctx = MakeFunctionContext(ec_);
+      ctx.set_current_function(call->func_name);
+      SOFT_ASSIGN_OR_RETURN(Value v, state.aggregator->Finalize(ctx));
+      agg_values[call] = std::move(v);
+    }
+    RowBinding binding(from_names,
+                       group.has_representative ? &group.representative : nullptr);
+    Evaluator eval(ec_);
+    eval.set_agg_values(&agg_values);
+    // HAVING.
+    if (sel_.having != nullptr) {
+      SOFT_ASSIGN_OR_RETURN(Value keep, eval.Eval(*sel_.having, binding));
+      if (keep.is_null()) {
+        continue;
+      }
+      SOFT_ASSIGN_OR_RETURN(Value b, CoerceValue(keep, TypeKind::kBool,
+                                                 ec_.db->config().cast_options));
+      if (b.is_null() || !b.bool_value()) {
+        continue;
+      }
+    }
+    ValueList row;
+    for (const SelectItem& item : sel_.items) {
+      SOFT_ASSIGN_OR_RETURN(Value v, eval.Eval(*item.expr, binding));
+      row.push_back(std::move(v));
+    }
+    out.rows.push_back(std::move(row));
+    out.source_rows.push_back(group.has_representative ? group.representative
+                                                       : ValueList());
+  }
+  out.source_names = from_names;
+  return out;
+}
+
+Result<QueryOutput> RunGrouped(ExecContext& ec, const SelectStmt& sel,
+                               const FromData& from) {
+  std::vector<const Expr*> agg_calls;
+  for (const SelectItem& item : sel.items) {
+    CollectAggregateCalls(*item.expr, ec.db->registry(), agg_calls);
+  }
+  if (sel.having != nullptr) {
+    CollectAggregateCalls(*sel.having, ec.db->registry(), agg_calls);
+  }
+  GroupedExecution grouped(ec, sel, std::move(agg_calls));
+
+  for (const ValueList& row : from.rows) {
+    RowBinding binding(from.names, &row);
+    if (sel.where != nullptr) {
+      Evaluator eval(ec);
+      SOFT_ASSIGN_OR_RETURN(Value cond, eval.Eval(*sel.where, binding));
+      if (cond.is_null()) {
+        continue;
+      }
+      SOFT_ASSIGN_OR_RETURN(Value b, CoerceValue(cond, TypeKind::kBool,
+                                                 ec.db->config().cast_options));
+      if (b.is_null() || !b.bool_value()) {
+        continue;
+      }
+    }
+    SOFT_RETURN_IF_ERROR(grouped.AccumulateRow(binding, row));
+  }
+  if (!from.has_source) {
+    // Literal-only aggregate query: one synthetic input row.
+    RowBinding binding;
+    SOFT_RETURN_IF_ERROR(grouped.AccumulateRow(binding, {}));
+  }
+  grouped.EnsureGlobalGroup();
+  return grouped.Project(from.names);
+}
+
+bool HasAggregates(ExecContext& ec, const SelectStmt& sel) {
+  std::vector<const Expr*> calls;
+  for (const SelectItem& item : sel.items) {
+    CollectAggregateCalls(*item.expr, ec.db->registry(), calls);
+  }
+  if (sel.having != nullptr) {
+    CollectAggregateCalls(*sel.having, ec.db->registry(), calls);
+  }
+  return !calls.empty() || !sel.group_by.empty();
+}
+
+Result<QueryOutput> RunPlain(ExecContext& ec, const SelectStmt& sel, const FromData& from) {
+  QueryOutput out;
+  // Column headers, with SELECT-* expansion.
+  const bool star_expand =
+      from.has_source && sel.items.size() >= 1 &&
+      std::any_of(sel.items.begin(), sel.items.end(), [](const SelectItem& item) {
+        return item.expr->kind == ExprKind::kLiteral && item.expr->literal.is_star();
+      });
+  for (const SelectItem& item : sel.items) {
+    if (star_expand && item.expr->kind == ExprKind::kLiteral &&
+        item.expr->literal.is_star()) {
+      for (const std::string& name : from.names) {
+        out.columns.push_back(name);
+      }
+      continue;
+    }
+    out.columns.push_back(item.alias.empty() ? item.expr->ToSql() : item.alias);
+  }
+
+  std::vector<ValueList> source_rows;
+  if (from.has_source) {
+    source_rows = from.rows;
+  } else {
+    source_rows.emplace_back();  // single empty row
+  }
+
+  for (const ValueList& row : source_rows) {
+    RowBinding binding(from.names, from.has_source ? &row : nullptr);
+    Evaluator eval(ec);
+    if (sel.where != nullptr) {
+      SOFT_ASSIGN_OR_RETURN(Value cond, eval.Eval(*sel.where, binding));
+      if (cond.is_null()) {
+        continue;
+      }
+      SOFT_ASSIGN_OR_RETURN(Value b, CoerceValue(cond, TypeKind::kBool,
+                                                 ec.db->config().cast_options));
+      if (b.is_null() || !b.bool_value()) {
+        continue;
+      }
+    }
+    ValueList out_row;
+    for (const SelectItem& item : sel.items) {
+      if (star_expand && item.expr->kind == ExprKind::kLiteral &&
+          item.expr->literal.is_star()) {
+        for (const Value& v : row) {
+          out_row.push_back(v);
+        }
+        continue;
+      }
+      SOFT_ASSIGN_OR_RETURN(Value v, eval.Eval(*item.expr, binding));
+      out_row.push_back(std::move(v));
+    }
+    out.rows.push_back(std::move(out_row));
+    out.source_rows.push_back(row);
+  }
+  out.source_names = from.names;
+  return out;
+}
+
+Status ApplyOrderBy(ExecContext& ec, const SelectStmt& sel, QueryOutput& out) {
+  if (sel.order_by.empty()) {
+    return OkStatus();
+  }
+  // Precompute sort keys: output columns (aliases) resolve first, then
+  // un-projected source columns via the snapshot taken at projection time.
+  std::vector<ValueList> keys(out.rows.size());
+  for (size_t r = 0; r < out.rows.size(); ++r) {
+    RowBinding binding(out.columns, &out.rows[r]);
+    Evaluator eval(ec);
+    for (const OrderItem& item : sel.order_by) {
+      // Integer ordinals refer to output columns (ORDER BY 1).
+      if (item.expr->kind == ExprKind::kLiteral &&
+          item.expr->literal.kind() == TypeKind::kInt) {
+        const int64_t ordinal = item.expr->literal.int_value();
+        if (ordinal < 1 || ordinal > static_cast<int64_t>(out.rows[r].size())) {
+          return InvalidArgument("ORDER BY ordinal out of range");
+        }
+        keys[r].push_back(out.rows[r][static_cast<size_t>(ordinal - 1)]);
+        continue;
+      }
+      Result<Value> v = eval.Eval(*item.expr, binding);
+      if (!v.ok() && v.status().code() == StatusCode::kNotFound &&
+          r < out.source_rows.size()) {
+        RowBinding source_binding(out.source_names, &out.source_rows[r]);
+        v = eval.Eval(*item.expr, source_binding);
+      }
+      if (!v.ok()) {
+        return v.status();
+      }
+      keys[r].push_back(std::move(*v));
+    }
+  }
+  std::vector<size_t> order(out.rows.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  Status sort_error = OkStatus();
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    for (size_t k = 0; k < sel.order_by.size(); ++k) {
+      const Result<int> cmp = Value::Compare(keys[a][k], keys[b][k]);
+      if (!cmp.ok()) {
+        if (sort_error.ok()) {
+          sort_error = cmp.status();
+        }
+        return false;
+      }
+      if (*cmp != 0) {
+        return sel.order_by[k].ascending ? *cmp < 0 : *cmp > 0;
+      }
+    }
+    return false;
+  });
+  SOFT_RETURN_IF_ERROR(sort_error);
+  std::vector<ValueList> sorted;
+  std::vector<ValueList> sorted_sources;
+  sorted.reserve(out.rows.size());
+  for (size_t idx : order) {
+    sorted.push_back(std::move(out.rows[idx]));
+    if (idx < out.source_rows.size()) {
+      sorted_sources.push_back(std::move(out.source_rows[idx]));
+    }
+  }
+  out.rows = std::move(sorted);
+  out.source_rows = std::move(sorted_sources);
+  return OkStatus();
+}
+
+// UNION column unification: infer a common supertype per column and coerce
+// every cell through the fault-checked cast (implicit casting, Pattern 2.2).
+Status UnifyUnion(ExecContext& ec, QueryOutput& left, QueryOutput&& right, bool union_all) {
+  if (left.columns.size() != right.columns.size()) {
+    return InvalidArgument("UNION branches have different column counts");
+  }
+  const size_t ncols = left.columns.size();
+  for (size_t c = 0; c < ncols; ++c) {
+    TypeKind common = TypeKind::kNull;
+    for (const ValueList& row : left.rows) {
+      SOFT_ASSIGN_OR_RETURN(common, CommonSuperType(common, row[c].kind()));
+    }
+    for (const ValueList& row : right.rows) {
+      SOFT_ASSIGN_OR_RETURN(common, CommonSuperType(common, row[c].kind()));
+    }
+    if (common == TypeKind::kNull) {
+      continue;
+    }
+    auto coerce_all = [&](std::vector<ValueList>& rows) -> Status {
+      for (ValueList& row : rows) {
+        if (row[c].kind() != common && !row[c].is_null()) {
+          SOFT_ASSIGN_OR_RETURN(row[c], CheckedCast(ec, row[c], common));
+        }
+      }
+      return OkStatus();
+    };
+    SOFT_RETURN_IF_ERROR(coerce_all(left.rows));
+    SOFT_RETURN_IF_ERROR(coerce_all(right.rows));
+  }
+  for (ValueList& row : right.rows) {
+    left.rows.push_back(std::move(row));
+  }
+  if (!union_all) {
+    std::set<std::string> seen;
+    std::vector<ValueList> deduped;
+    for (ValueList& row : left.rows) {
+      if (seen.insert(RenderRowKey(row)).second) {
+        deduped.push_back(std::move(row));
+      }
+    }
+    left.rows = std::move(deduped);
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+Result<QueryOutput> RunSelect(ExecContext& ec, const SelectStmt& select) {
+  SOFT_ASSIGN_OR_RETURN(FromData from, ResolveFrom(ec, select));
+
+  QueryOutput out;
+  if (HasAggregates(ec, select)) {
+    SOFT_ASSIGN_OR_RETURN(out, RunGrouped(ec, select, from));
+  } else {
+    SOFT_ASSIGN_OR_RETURN(out, RunPlain(ec, select, from));
+  }
+
+  if (select.distinct) {
+    std::set<std::string> seen;
+    std::vector<ValueList> deduped;
+    std::vector<ValueList> deduped_sources;
+    for (size_t r = 0; r < out.rows.size(); ++r) {
+      if (seen.insert(RenderRowKey(out.rows[r])).second) {
+        deduped.push_back(std::move(out.rows[r]));
+        if (r < out.source_rows.size()) {
+          deduped_sources.push_back(std::move(out.source_rows[r]));
+        }
+      }
+    }
+    out.rows = std::move(deduped);
+    out.source_rows = std::move(deduped_sources);
+  }
+
+  SOFT_RETURN_IF_ERROR(ApplyOrderBy(ec, select, out));
+
+  if (select.limit.has_value() && *select.limit >= 0 &&
+      out.rows.size() > static_cast<size_t>(*select.limit)) {
+    out.rows.resize(static_cast<size_t>(*select.limit));
+    if (out.source_rows.size() > static_cast<size_t>(*select.limit)) {
+      out.source_rows.resize(static_cast<size_t>(*select.limit));
+    }
+  }
+
+  if (select.union_next != nullptr) {
+    SOFT_ASSIGN_OR_RETURN(QueryOutput right, RunSelect(ec, *select.union_next));
+    SOFT_RETURN_IF_ERROR(UnifyUnion(ec, out, std::move(right), select.union_all));
+    // After UNION only output columns are addressable (standard SQL).
+    out.source_names.clear();
+    out.source_rows.clear();
+  }
+  return out;
+}
+
+}  // namespace soft

@@ -1,0 +1,30 @@
+// In-memory tables of the simulated DBMS.
+#ifndef SRC_ENGINE_TABLE_H_
+#define SRC_ENGINE_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/sqlast/ast.h"
+#include "src/sqlvalue/value.h"
+
+namespace soft {
+
+struct Table {
+  std::string name;
+  std::vector<ColumnDef> columns;
+  std::vector<ValueList> rows;
+
+  int ColumnIndex(const std::string& column_name) const {
+    for (size_t i = 0; i < columns.size(); ++i) {
+      if (columns[i].name == column_name) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  }
+};
+
+}  // namespace soft
+
+#endif  // SRC_ENGINE_TABLE_H_

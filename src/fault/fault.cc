@@ -1,0 +1,238 @@
+#include "src/fault/fault.h"
+
+#include "src/sqlvalue/geometry.h"
+#include "src/sqlvalue/json.h"
+#include "src/util/str_util.h"
+
+namespace soft {
+
+std::string_view CrashTypeName(CrashType type) {
+  switch (type) {
+    case CrashType::kNullPointerDereference:
+      return "NPD";
+    case CrashType::kSegmentationViolation:
+      return "SEGV";
+    case CrashType::kUseAfterFree:
+      return "UAF";
+    case CrashType::kHeapBufferOverflow:
+      return "HBOF";
+    case CrashType::kGlobalBufferOverflow:
+      return "GBOF";
+    case CrashType::kAssertionFailure:
+      return "AF";
+    case CrashType::kStackOverflow:
+      return "SO";
+    case CrashType::kDivideByZero:
+      return "DBZ";
+  }
+  return "?";
+}
+
+std::string_view CrashTypeLongName(CrashType type) {
+  switch (type) {
+    case CrashType::kNullPointerDereference:
+      return "null pointer dereference";
+    case CrashType::kSegmentationViolation:
+      return "segmentation violation";
+    case CrashType::kUseAfterFree:
+      return "use-after-free";
+    case CrashType::kHeapBufferOverflow:
+      return "heap buffer overflow";
+    case CrashType::kGlobalBufferOverflow:
+      return "global buffer overflow";
+    case CrashType::kAssertionFailure:
+      return "assertion failure";
+    case CrashType::kStackOverflow:
+      return "stack overflow";
+    case CrashType::kDivideByZero:
+      return "divide-by-zero";
+  }
+  return "?";
+}
+
+std::string_view StageName(Stage stage) {
+  switch (stage) {
+    case Stage::kParse:
+      return "parse";
+    case Stage::kOptimize:
+      return "optimize";
+    case Stage::kExecute:
+      return "execute";
+  }
+  return "?";
+}
+
+std::string CrashInfo::Summary() const {
+  std::string out = "BUG-";
+  out += dbms;
+  out += "-";
+  out += std::to_string(bug_id);
+  out += " [";
+  out += CrashTypeName(crash);
+  out += "] in ";
+  out += function;
+  out += " at ";
+  out += StageName(stage);
+  out += " stage (";
+  out += pattern;
+  out += "): ";
+  out += description;
+  return out;
+}
+
+void FaultEngine::AddBug(BugSpec spec) {
+  spec.function = AsciiUpper(spec.function);
+  by_function_[spec.function].push_back(spec);
+  all_.push_back(std::move(spec));
+  ++total_bugs_;
+}
+
+namespace {
+
+CrashInfo MakeCrash(const BugSpec& spec) {
+  CrashInfo info;
+  info.bug_id = spec.id;
+  info.dbms = spec.dbms;
+  info.function = spec.function;
+  info.crash = spec.crash;
+  info.stage = spec.stage;
+  info.pattern = spec.pattern;
+  info.description = spec.description;
+  return info;
+}
+
+}  // namespace
+
+bool FaultEngine::ArgMatches(const BugSpec& spec, const Value& v) {
+  switch (spec.trigger) {
+    case TriggerKind::kArgIsStar:
+      return v.is_star();
+    case TriggerKind::kArgIsNull:
+      return v.is_null();
+    case TriggerKind::kArgEmptyString:
+      return v.kind() == TypeKind::kString && v.string_value().empty();
+    case TriggerKind::kDecimalDigitsAtLeast:
+      return v.kind() == TypeKind::kDecimal &&
+             v.decimal_value().total_digits() >= spec.threshold;
+    case TriggerKind::kDecimalFractionAtLeast:
+      return v.kind() == TypeKind::kDecimal &&
+             v.decimal_value().fraction_digits() >= spec.threshold;
+    case TriggerKind::kIntAtLeast:
+      return v.kind() == TypeKind::kInt && v.int_value() >= spec.threshold;
+    case TriggerKind::kIntAtMost:
+      return v.kind() == TypeKind::kInt && v.int_value() <= spec.threshold;
+    case TriggerKind::kStringLengthAtLeast: {
+      if (v.kind() == TypeKind::kString) {
+        return static_cast<int64_t>(v.string_value().size()) >= spec.threshold;
+      }
+      if (v.kind() == TypeKind::kBlob) {
+        return static_cast<int64_t>(v.blob_value().size()) >= spec.threshold;
+      }
+      return false;
+    }
+    case TriggerKind::kJsonDepthAtLeast: {
+      if (v.kind() == TypeKind::kString) {
+        return ProbeJsonNestingDepth(v.string_value()) >= spec.threshold;
+      }
+      if (v.kind() == TypeKind::kJson && v.json_value() != nullptr) {
+        return v.json_value()->Depth() >= spec.threshold;
+      }
+      return false;
+    }
+    case TriggerKind::kArgTypeIs:
+      return v.kind() == spec.param_type;
+    case TriggerKind::kBlobNotGeometry:
+      return v.kind() == TypeKind::kBlob && !GeometryFromBinary(v.blob_value()).ok();
+    case TriggerKind::kStringContains:
+      return v.kind() == TypeKind::kString &&
+             v.string_value().find(spec.param_text) != std::string::npos;
+    default:
+      return false;
+  }
+}
+
+bool FaultEngine::TriggerMatches(const BugSpec& spec, const ValueList& args, int call_depth,
+                                 bool distinct) {
+  switch (spec.trigger) {
+    case TriggerKind::kAlways:
+      return true;
+    case TriggerKind::kCallDepthAtLeast:
+      return call_depth >= spec.threshold;
+    case TriggerKind::kArgCountAtLeast:
+      return static_cast<int64_t>(args.size()) >= spec.threshold;
+    case TriggerKind::kDistinctFlag:
+      return distinct;
+    case TriggerKind::kDistinctAndAllArgsString: {
+      if (!distinct || args.empty()) {
+        return false;
+      }
+      for (const Value& v : args) {
+        if (v.kind() != TypeKind::kString) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case TriggerKind::kCastTargetIs:
+      return false;  // cast-layer only
+    default:
+      break;
+  }
+  if (spec.arg_index >= 0) {
+    if (spec.arg_index >= static_cast<int>(args.size())) {
+      return false;
+    }
+    return ArgMatches(spec, args[static_cast<size_t>(spec.arg_index)]);
+  }
+  for (const Value& v : args) {
+    if (ArgMatches(spec, v)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<CrashInfo> FaultEngine::CheckFunction(std::string_view function,
+                                                    const ValueList& args, int call_depth,
+                                                    bool distinct, Stage stage) const {
+  const auto it = by_function_.find(AsciiUpper(function));
+  if (it == by_function_.end()) {
+    return std::nullopt;
+  }
+  for (const BugSpec& spec : it->second) {
+    if (spec.stage != stage) {
+      continue;
+    }
+    if (TriggerMatches(spec, args, call_depth, distinct)) {
+      return MakeCrash(spec);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<CrashInfo> FaultEngine::CheckCast(TypeKind target, const Value& input,
+                                                Stage stage) const {
+  const auto it = by_function_.find("CAST");
+  if (it == by_function_.end()) {
+    return std::nullopt;
+  }
+  for (const BugSpec& spec : it->second) {
+    if (spec.stage != stage) {
+      continue;
+    }
+    if (spec.trigger == TriggerKind::kCastTargetIs) {
+      if (spec.param_type == target &&
+          (spec.param_text.empty() ||
+           std::string(TypeKindName(input.kind())) == spec.param_text)) {
+        return MakeCrash(spec);
+      }
+      continue;
+    }
+    if (ArgMatches(spec, input)) {
+      return MakeCrash(spec);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace soft

@@ -1,0 +1,127 @@
+// Injected-fault framework: the simulated memory-safety bugs of the seven
+// dialects.
+//
+// Real DBMS function bugs are *missing validations*: a boundary argument
+// reaches code that assumed it could not occur. We model each Table 4 bug as
+// a BugSpec — pure data: which function, which boundary condition (a trigger
+// predicate over the evaluated arguments and evaluation context), which crash
+// type it would have caused, which paper pattern constructs it. The engine
+// consults the FaultEngine *before* its own argument validation (that is
+// exactly what "missing check" means); a triggered spec surfaces as a
+// simulated crash in the statement result instead of real undefined
+// behaviour, keeping the harness testable.
+#ifndef SRC_FAULT_FAULT_H_
+#define SRC_FAULT_FAULT_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/sqlvalue/value.h"
+#include "src/util/status.h"
+
+namespace soft {
+
+// Crash taxonomy of Table 4.
+enum class CrashType {
+  kNullPointerDereference,
+  kSegmentationViolation,
+  kUseAfterFree,
+  kHeapBufferOverflow,
+  kGlobalBufferOverflow,
+  kAssertionFailure,
+  kStackOverflow,
+  kDivideByZero,
+};
+
+std::string_view CrashTypeName(CrashType type);        // "NPD", "SEGV", ...
+std::string_view CrashTypeLongName(CrashType type);    // "null pointer dereference"
+
+// DBMS processing stage (Finding 1).
+enum class Stage { kParse, kOptimize, kExecute };
+std::string_view StageName(Stage stage);
+
+// The boundary condition that triggers a bug.
+enum class TriggerKind {
+  kArgIsStar,                // argument is the '*' literal
+  kArgIsNull,                // argument is NULL (reaching a non-null path)
+  kArgEmptyString,           // argument is ''
+  kDecimalDigitsAtLeast,     // DECIMAL argument with >= threshold total digits
+  kDecimalFractionAtLeast,   // DECIMAL argument with >= threshold fraction digits
+  kIntAtLeast,               // integer argument >= threshold
+  kIntAtMost,                // integer argument <= threshold (negative extremes)
+  kStringLengthAtLeast,      // string/blob argument with >= threshold bytes
+  kJsonDepthAtLeast,         // string argument whose JSON nesting >= threshold
+  kArgTypeIs,                // argument has TypeKind param_type (ROW, BLOB, ...)
+  kBlobNotGeometry,          // BLOB argument that fails geometry decoding
+  kStringContains,           // string argument contains param_text
+  kCallDepthAtLeast,         // nested function-call depth >= threshold
+  kArgCountAtLeast,          // invocation with >= threshold arguments
+  kDistinctFlag,             // aggregate invoked with DISTINCT
+  kDistinctAndAllArgsString, // DISTINCT aggregate whose args are all strings
+                             // (the CVE-2023-5868 unknown-type shape)
+  kCastTargetIs,             // cast-layer bug: cast to param_type
+  kAlways,                   // unconditional for the spec's function+stage
+};
+
+struct BugSpec {
+  int id = 0;                       // stable identifier (BUG-<dbms>-<n>)
+  std::string dbms;                 // dialect name, lower-case
+  std::string function;             // upper-case; "CAST" for cast-layer bugs
+  std::string function_type;        // Figure 1 category label ("string", ...)
+  CrashType crash = CrashType::kSegmentationViolation;
+  std::string pattern;              // paper pattern credited, e.g. "P1.2"
+  Stage stage = Stage::kExecute;
+
+  TriggerKind trigger = TriggerKind::kAlways;
+  int arg_index = -1;               // -1: any argument position
+  int64_t threshold = 0;
+  TypeKind param_type = TypeKind::kNull;
+  std::string param_text;
+
+  std::string description;          // one-line account, used in bug reports
+};
+
+// What the harness observes when a spec fires.
+struct CrashInfo {
+  int bug_id = 0;
+  std::string dbms;
+  std::string function;
+  CrashType crash = CrashType::kSegmentationViolation;
+  Stage stage = Stage::kExecute;
+  std::string pattern;
+  std::string description;
+
+  std::string Summary() const;
+};
+
+class FaultEngine {
+ public:
+  void AddBug(BugSpec spec);
+  size_t bug_count() const { return total_bugs_; }
+  const std::vector<BugSpec>& AllBugs() const { return all_; }
+
+  // Consulted by the evaluator before a function validates its arguments.
+  // `distinct` is the aggregate-DISTINCT flag. Returns the triggered spec.
+  std::optional<CrashInfo> CheckFunction(std::string_view function, const ValueList& args,
+                                         int call_depth, bool distinct, Stage stage) const;
+
+  // Consulted by the cast matrix wrapper for cast-layer bugs ("CAST" specs).
+  std::optional<CrashInfo> CheckCast(TypeKind target, const Value& input,
+                                     Stage stage) const;
+
+ private:
+  static bool TriggerMatches(const BugSpec& spec, const ValueList& args, int call_depth,
+                             bool distinct);
+  static bool ArgMatches(const BugSpec& spec, const Value& v);
+
+  std::unordered_map<std::string, std::vector<BugSpec>> by_function_;
+  std::vector<BugSpec> all_;
+  size_t total_bugs_ = 0;
+};
+
+}  // namespace soft
+
+#endif  // SRC_FAULT_FAULT_H_

@@ -1,0 +1,110 @@
+#include "src/soft/boundary_values.h"
+
+namespace soft {
+namespace {
+
+void AddDigitSweep(std::vector<std::string>& out, int max_digits) {
+  // Integers 9, 99, ..., 10^k, and their negations, sweeping digit lengths.
+  for (int digits : {1, 2, 3, 5, 7, 10, 13, 16, 19, 20}) {
+    std::string nines(static_cast<size_t>(digits), '9');
+    out.push_back(nines);
+    out.push_back("-" + nines);
+  }
+  // Fractions 0.9…9 sweeping fraction-digit counts across every dialect's
+  // precision cap (31 = MariaDB String::set_real, 38/40 = decimal2string,
+  // 65 = MySQL precision, and past-cap probes).
+  for (int digits : {1, 3, 5, 10, 20, 30, 31, 32, 38, 40, 41, 50, 60, 64, 65, 66}) {
+    if (digits > max_digits) {
+      break;
+    }
+    std::string frac(static_cast<size_t>(digits), '9');
+    out.push_back("0." + frac);
+    out.push_back("-0." + frac);
+    out.push_back("1." + frac);
+  }
+  // Long integer parts too (the AVG global-overflow shape).
+  for (int digits : {25, 40, 48, 65, 80}) {
+    if (digits > max_digits) {
+      break;
+    }
+    out.push_back(std::string(static_cast<size_t>(digits), '9'));
+  }
+  // INT64 edges.
+  out.push_back("9223372036854775807");
+  out.push_back("-9223372036854775808");
+  out.push_back("2147483647");
+  out.push_back("-2147483648");
+  out.push_back("0");
+  out.push_back("-1");
+}
+
+void AddCraftedStrings(std::vector<std::string>& out) {
+  // Format-shaped strings (12.9% of studied bugs came from crafted string
+  // literals: JSON, dates, paths, addresses, WKT, format specs).
+  out.push_back("''");
+  out.push_back("' '");
+  out.push_back("'0'");
+  out.push_back("'{\"key\": 0}'");
+  out.push_back("'[1,2,3]'");
+  out.push_back("'[[[[[[[[['");
+  out.push_back("'{{{{{{{{{'");
+  out.push_back("'[1,[1,[1,[1,[1,[1,[1,[1,[1,[1]]]]]]]]]]'");
+  out.push_back("'2024-01-01'");
+  out.push_back("'0000-00-00'");
+  out.push_back("'9999-12-31'");
+  out.push_back("'$[2][1]'");
+  out.push_back("'$.a.b.c'");
+  out.push_back("'%Y%m%d%H%i%s'");
+  out.push_back("'POINT(1 2)'");
+  out.push_back("'LINESTRING(0 0, 1 1)'");
+  out.push_back("'255.255.255.255'");
+  out.push_back("'::ffff:1.2.3.4'");
+  out.push_back("'<a><c></c></a>'");
+  out.push_back("'/a/c[1]'");
+  out.push_back("'99999'");
+  out.push_back("'-99999'");
+  out.push_back("'1e-32'");
+  out.push_back("'x7fffffff'");
+}
+
+void AddSpecials(std::vector<std::string>& out) {
+  out.push_back("NULL");
+  out.push_back("*");
+  out.push_back("TRUE");
+  out.push_back("FALSE");
+  // Composite literals (pool extension; see DESIGN.md): the MDEV-14596
+  // class needs non-comparable ROW values, and empty/one-element arrays are
+  // the DuckDB boundary shape.
+  out.push_back("ROW(1, 1)");
+  out.push_back("ROW(1, 2)");
+  out.push_back("ARRAY[]");
+  out.push_back("ARRAY[1]");
+  out.push_back("x'00'");
+  out.push_back("x'FFFF'");
+}
+
+}  // namespace
+
+BoundaryPool GenerateBoundaryPool(int max_digits) {
+  BoundaryPool pool;
+  AddDigitSweep(pool.snippets, max_digits);
+  AddCraftedStrings(pool.snippets);
+  AddSpecials(pool.snippets);
+  return pool;
+}
+
+BoundaryPool GenerateExtremesOnlyPool() {
+  BoundaryPool pool;
+  // One extreme per class — the ablation strawman.
+  pool.snippets = {
+      std::string(100, '9'),
+      "-" + std::string(100, '9'),
+      "0." + std::string(100, '9'),
+      "''",
+      "NULL",
+      "*",
+  };
+  return pool;
+}
+
+}  // namespace soft

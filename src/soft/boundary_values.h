@@ -1,0 +1,35 @@
+// Pattern 1.1: the boundary-literal pool.
+//
+// "bound → ±0.99999, ±99999, '', NULL, *". The paper stresses that single
+// extreme values are insufficient — parsers reject over-long literals and
+// precision caps differ per DBMS — so the pool enumerates *digit lengths*
+// (Section 6). We additionally include the crafted format strings the study
+// attributes 12.9% of bugs to (JSON, dates, paths, WKT, addresses) and the
+// special composite literals (ROW(1,1); MDEV-14596) documented as a pool
+// extension in DESIGN.md.
+#ifndef SRC_SOFT_BOUNDARY_VALUES_H_
+#define SRC_SOFT_BOUNDARY_VALUES_H_
+
+#include <string>
+#include <vector>
+
+namespace soft {
+
+struct BoundaryPool {
+  // Each entry is a SQL expression snippet ("-0.99999", "''", "NULL", "*",
+  // "ROW(1, 1)", ...) that parses as a literal-ish expression.
+  std::vector<std::string> snippets;
+};
+
+// The full pool. `max_digits` bounds the digit-length enumeration (default
+// covers every precision cap among the seven dialects, 65 digits + past-cap
+// probes).
+BoundaryPool GenerateBoundaryPool(int max_digits = 80);
+
+// Sub-pools, exposed for the digit-sweep ablation bench: only the single
+// most extreme value per class (the strategy the paper calls insufficient).
+BoundaryPool GenerateExtremesOnlyPool();
+
+}  // namespace soft
+
+#endif  // SRC_SOFT_BOUNDARY_VALUES_H_

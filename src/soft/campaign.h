@@ -1,0 +1,59 @@
+// Shared campaign types: what a fuzzing run (SOFT or a baseline) reports.
+#ifndef SRC_SOFT_CAMPAIGN_H_
+#define SRC_SOFT_CAMPAIGN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/engine/database.h"
+
+namespace soft {
+
+struct CampaignOptions {
+  uint64_t seed = 1;
+  // Statement budget standing in for the paper's wall-clock budgets (all
+  // tools are compared under identical budgets).
+  int max_statements = 20000;
+  // Stop early once every injected bug of the dialect has been found
+  // (benches turn this off to measure coverage at full budget).
+  bool stop_when_all_bugs_found = false;
+};
+
+struct FoundBug {
+  CrashInfo crash;
+  std::string poc_sql;
+  // SOFT: the boundary-value-generation pattern that produced the PoC
+  // ("P1.2", ...); baselines: the tool name.
+  std::string found_by;
+  int statements_until_found = 0;
+};
+
+struct CampaignResult {
+  std::string tool;
+  std::string dialect;
+  int statements_executed = 0;
+  int sql_errors = 0;
+  int crashes_observed = 0;        // crash events incl. duplicates
+  int false_positives = 0;         // resource-limit kills (REPEAT(...,1e10) class)
+  std::vector<FoundBug> unique_bugs;
+
+  // Coverage snapshot after the campaign (Table 5 / Table 6 quantities).
+  size_t functions_triggered = 0;
+  size_t branches_covered = 0;
+};
+
+// Common interface so the comparison benches can run the four tools
+// uniformly.
+class Fuzzer {
+ public:
+  virtual ~Fuzzer() = default;
+  virtual std::string name() const = 0;
+  // Runs one campaign against `db`. The fuzzer owns nothing: the database's
+  // coverage tracker accumulates, and its tables may be created/dropped.
+  virtual CampaignResult Run(Database& db, const CampaignOptions& options) = 0;
+};
+
+}  // namespace soft
+
+#endif  // SRC_SOFT_CAMPAIGN_H_

@@ -1,0 +1,93 @@
+#include "src/soft/clause_extension.h"
+
+#include <set>
+
+#include "src/soft/boundary_values.h"
+#include "src/util/rng.h"
+
+namespace soft {
+
+std::vector<ClauseCase> GenerateClauseCases(const Database& db, const std::string& table,
+                                            int budget, uint64_t seed) {
+  std::vector<ClauseCase> out;
+  const Table* t = db.FindTable(table);
+  if (t == nullptr || t->columns.empty()) {
+    return out;
+  }
+  Rng rng(seed);
+  const BoundaryPool pool = GenerateBoundaryPool();
+  const std::vector<std::string> comparators = {"=", "!=", "<", "<=", ">", ">="};
+
+  auto column = [&]() -> const std::string& {
+    return t->columns[rng.NextBelow(t->columns.size())].name;
+  };
+  auto boundary = [&]() -> std::string {
+    std::string snippet;
+    do {
+      snippet = pool.snippets[rng.NextBelow(pool.snippets.size())];
+    } while (snippet == "*");
+    return snippet;
+  };
+
+  while (static_cast<int>(out.size()) < budget) {
+    switch (rng.NextBelow(4)) {
+      case 0: {
+        ClauseCase c;
+        c.clause = "WHERE";
+        c.sql = "SELECT " + column() + " FROM " + table + " WHERE " + column() + " " +
+                comparators[rng.NextBelow(comparators.size())] + " " + boundary();
+        out.push_back(std::move(c));
+        break;
+      }
+      case 1: {
+        // Boundary expression as the sort key: the sorter compares the same
+        // constant against itself per row, exercising comparison dispatch.
+        ClauseCase c;
+        c.clause = "ORDER BY";
+        c.sql = "SELECT " + column() + " FROM " + table + " ORDER BY " + boundary() +
+                (rng.NextBool() ? " DESC" : "");
+        out.push_back(std::move(c));
+        break;
+      }
+      case 2: {
+        ClauseCase c;
+        c.clause = "GROUP BY";
+        c.sql = "SELECT COUNT(*) FROM " + table + " GROUP BY " + boundary();
+        out.push_back(std::move(c));
+        break;
+      }
+      default: {
+        ClauseCase c;
+        c.clause = "LIMIT";
+        const int64_t n = rng.NextBool() ? 0 : 9999999999LL;
+        c.sql = "SELECT " + column() + " FROM " + table + " LIMIT " + std::to_string(n);
+        out.push_back(std::move(c));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+ClauseCampaignResult RunClauseCampaign(Database& db, const std::string& table,
+                                       int budget, uint64_t seed) {
+  ClauseCampaignResult result;
+  std::set<int> seen;
+  for (const ClauseCase& test_case : GenerateClauseCases(db, table, budget, seed)) {
+    ++result.statements_executed;
+    const StatementResult r = db.Execute(test_case.sql);
+    if (r.crashed()) {
+      ++result.crashes;
+      if (seen.insert(r.crash->bug_id).second) {
+        result.unique_crashes.push_back(*r.crash);
+      }
+      continue;
+    }
+    if (!r.ok()) {
+      ++result.sql_errors;
+    }
+  }
+  return result;
+}
+
+}  // namespace soft

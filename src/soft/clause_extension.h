@@ -1,0 +1,43 @@
+// Clause-boundary extension (Section 8, "Extending Existing DBMS Testing
+// Works with SOFT").
+//
+// The paper notes SOFT's boundary values also stress data-sensitive clause
+// machinery — WHERE filtering, ORDER BY sorting, GROUP BY grouping — not
+// just function arguments. This module routes the Pattern 1.1 pool into
+// those clauses: comparisons against boundary constants in WHERE, boundary
+// expressions as sort and group keys, and boundary LIMIT counts.
+#ifndef SRC_SOFT_CLAUSE_EXTENSION_H_
+#define SRC_SOFT_CLAUSE_EXTENSION_H_
+
+#include <string>
+#include <vector>
+
+#include "src/engine/database.h"
+
+namespace soft {
+
+struct ClauseCase {
+  std::string sql;
+  std::string clause;  // "WHERE" | "ORDER BY" | "GROUP BY" | "LIMIT"
+};
+
+// Generates boundary-valued clause statements over `table`'s columns.
+// Deterministic per seed; roughly `budget` statements.
+std::vector<ClauseCase> GenerateClauseCases(const Database& db, const std::string& table,
+                                            int budget, uint64_t seed = 1);
+
+struct ClauseCampaignResult {
+  int statements_executed = 0;
+  int sql_errors = 0;
+  int crashes = 0;
+  std::vector<CrashInfo> unique_crashes;
+};
+
+// Generates and executes clause cases, recording crashes (deduplicated by
+// bug id).
+ClauseCampaignResult RunClauseCampaign(Database& db, const std::string& table,
+                                       int budget, uint64_t seed = 1);
+
+}  // namespace soft
+
+#endif  // SRC_SOFT_CLAUSE_EXTENSION_H_

@@ -1,0 +1,40 @@
+// Function-expression collection (Section 7.1, step 1).
+//
+// SOFT first harvests SQL function expressions from two sources: the DBMS's
+// documentation (here: the function registry, whose entries carry example
+// invocations) and the DBMS's regression test suite (here: per-dialect seed
+// scripts). Test-suite harvesting follows the paper's mechanism literally:
+// scan for parenthesis pairs whose preceding token is a documented function
+// name, and lift the balanced-paren expression.
+#ifndef SRC_SOFT_EXPR_COLLECTION_H_
+#define SRC_SOFT_EXPR_COLLECTION_H_
+
+#include <string>
+#include <vector>
+
+#include "src/engine/database.h"
+
+namespace soft {
+
+struct FunctionCorpus {
+  // Each entry is a self-contained function expression, e.g.
+  // "JSON_LENGTH('[1,2]', '$')" — executable as "SELECT <expr>".
+  std::vector<std::string> expressions;
+  // Prerequisite statements (CREATE TABLE / INSERT) harvested from the suite
+  // scripts; run before any table-referencing expression (Finding 4).
+  std::vector<std::string> prerequisites;
+};
+
+// Scans SQL text for expressions invoking functions known to `registry`
+// (the paper's paren-matching scan). Returns the extracted expressions.
+std::vector<std::string> ExtractFunctionExpressions(const std::string& sql,
+                                                    const FunctionRegistry& registry);
+
+// Full corpus for one dialect: registry examples ("documentation") plus
+// expressions extracted from `suite_scripts` ("regression suite").
+FunctionCorpus CollectCorpus(const Database& db,
+                             const std::vector<std::string>& suite_scripts);
+
+}  // namespace soft
+
+#endif  // SRC_SOFT_EXPR_COLLECTION_H_

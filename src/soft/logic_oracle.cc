@@ -1,0 +1,133 @@
+#include "src/soft/logic_oracle.h"
+
+#include "src/soft/boundary_values.h"
+#include "src/util/rng.h"
+
+namespace soft {
+namespace {
+
+// Executes a statement that must succeed for the oracle to have a verdict.
+Result<StatementResult> MustRun(Database& db, const std::string& sql) {
+  StatementResult r = db.Execute(sql);
+  if (!r.ok()) {
+    return r.status;
+  }
+  return r;
+}
+
+int64_t CountTrueColumn(const StatementResult& r) {
+  int64_t count = 0;
+  for (const ValueList& row : r.rows) {
+    if (!row.empty() && row[0].kind() == TypeKind::kBool && row[0].bool_value()) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+Result<std::optional<LogicBug>> CheckNoRec(Database& db, const std::string& table,
+                                           const std::string& predicate) {
+  // Optimized form: the engine filters.
+  SOFT_ASSIGN_OR_RETURN(
+      StatementResult optimized,
+      MustRun(db, "SELECT COUNT(*) FROM " + table + " WHERE " + predicate));
+  // Non-optimizing reference: project the predicate, count TRUE client-side.
+  SOFT_ASSIGN_OR_RETURN(
+      StatementResult reference,
+      MustRun(db, "SELECT CAST((" + predicate + ") AS BOOL) FROM " + table));
+
+  SOFT_ASSIGN_OR_RETURN(int64_t optimized_count, optimized.rows.at(0).at(0).AsInt64());
+  const int64_t reference_count = CountTrueColumn(reference);
+  if (optimized_count != reference_count) {
+    LogicBug bug;
+    bug.oracle = "NoREC";
+    bug.predicate = predicate;
+    bug.detail = "optimized WHERE selected " + std::to_string(optimized_count) +
+                 " rows, per-row evaluation says " + std::to_string(reference_count);
+    return std::optional<LogicBug>(std::move(bug));
+  }
+  return std::optional<LogicBug>();
+}
+
+Result<std::optional<LogicBug>> CheckTlp(Database& db, const std::string& table,
+                                         const std::string& predicate) {
+  SOFT_ASSIGN_OR_RETURN(StatementResult total,
+                        MustRun(db, "SELECT COUNT(*) FROM " + table));
+  SOFT_ASSIGN_OR_RETURN(
+      StatementResult when_true,
+      MustRun(db, "SELECT COUNT(*) FROM " + table + " WHERE " + predicate));
+  SOFT_ASSIGN_OR_RETURN(
+      StatementResult when_false,
+      MustRun(db, "SELECT COUNT(*) FROM " + table + " WHERE NOT (" + predicate + ")"));
+  SOFT_ASSIGN_OR_RETURN(
+      StatementResult when_null,
+      MustRun(db,
+              "SELECT COUNT(*) FROM " + table + " WHERE (" + predicate + ") IS NULL"));
+
+  SOFT_ASSIGN_OR_RETURN(int64_t n_total, total.rows.at(0).at(0).AsInt64());
+  SOFT_ASSIGN_OR_RETURN(int64_t n_true, when_true.rows.at(0).at(0).AsInt64());
+  SOFT_ASSIGN_OR_RETURN(int64_t n_false, when_false.rows.at(0).at(0).AsInt64());
+  SOFT_ASSIGN_OR_RETURN(int64_t n_null, when_null.rows.at(0).at(0).AsInt64());
+
+  if (n_total != n_true + n_false + n_null) {
+    LogicBug bug;
+    bug.oracle = "TLP";
+    bug.predicate = predicate;
+    bug.detail = std::to_string(n_total) + " rows partition into " +
+                 std::to_string(n_true) + " + " + std::to_string(n_false) + " + " +
+                 std::to_string(n_null);
+    return std::optional<LogicBug>(std::move(bug));
+  }
+  return std::optional<LogicBug>();
+}
+
+LogicCampaignResult RunLogicCampaign(Database& db, const std::string& table,
+                                     int predicate_budget, uint64_t seed) {
+  LogicCampaignResult result;
+  const Table* t = db.FindTable(table);
+  if (t == nullptr || t->columns.empty()) {
+    return result;
+  }
+
+  Rng rng(seed);
+  const BoundaryPool pool = GenerateBoundaryPool();
+  const std::vector<std::string> comparators = {"=", "!=", "<", "<=", ">", ">="};
+  // A few function shapes the predicates route the column through, so
+  // boundary handling inside functions is also on the oracle's path.
+  const std::vector<std::string> wrappers = {"%s", "ABS(%s)", "LENGTH(%s)",
+                                             "COALESCE(%s, 0)"};
+
+  for (int i = 0; i < predicate_budget; ++i) {
+    const ColumnDef& col = t->columns[rng.NextBelow(t->columns.size())];
+    std::string lhs = col.name;
+    const std::string& shape = wrappers[rng.NextBelow(wrappers.size())];
+    if (shape != "%s") {
+      lhs = shape.substr(0, shape.find("%s")) + col.name + ")";
+    }
+    std::string boundary;
+    do {
+      boundary = pool.snippets[rng.NextBelow(pool.snippets.size())];
+    } while (boundary == "*");  // '*' is not a predicate operand
+    const std::string predicate =
+        lhs + " " + comparators[rng.NextBelow(comparators.size())] + " " + boundary;
+
+    const Result<std::optional<LogicBug>> norec = CheckNoRec(db, table, predicate);
+    const Result<std::optional<LogicBug>> tlp = CheckTlp(db, table, predicate);
+    if (!norec.ok() || !tlp.ok()) {
+      ++result.skipped_errors;
+      continue;
+    }
+    ++result.predicates_checked;
+    if (norec->has_value()) {
+      result.bugs.push_back(**norec);
+    }
+    if (tlp->has_value()) {
+      result.bugs.push_back(**tlp);
+    }
+  }
+  return result;
+}
+
+}  // namespace soft

@@ -1,0 +1,55 @@
+// Correctness-bug extension (Section 8, "Correctness Bugs in SQL Functions").
+//
+// The paper proposes extending SOFT beyond crashes with metamorphic oracles
+// in the NoREC / TLP style. This module implements both for the simulated
+// engine:
+//
+//   NoREC  — a predicate's optimized evaluation (WHERE p) must select
+//            exactly the rows where the unoptimized per-row evaluation of p
+//            (projected as a SELECT item) yields TRUE.
+//   TLP    — ternary logic partitioning: |t| = |WHERE p| + |WHERE NOT p| +
+//            |WHERE p IS NULL| for any predicate p.
+//
+// SOFT's boundary pool supplies the predicate constants, so logic bugs in
+// boundary handling surface the same way crash bugs do.
+#ifndef SRC_SOFT_LOGIC_ORACLE_H_
+#define SRC_SOFT_LOGIC_ORACLE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/engine/database.h"
+
+namespace soft {
+
+struct LogicBug {
+  std::string oracle;     // "NoREC" | "TLP"
+  std::string predicate;  // SQL text of p
+  std::string detail;     // counts that disagreed
+};
+
+// Runs the NoREC oracle for predicate `p` over table `table`. Returns a
+// LogicBug on mismatch, nullopt when consistent, and an error status when
+// the queries themselves fail (not an oracle verdict).
+Result<std::optional<LogicBug>> CheckNoRec(Database& db, const std::string& table,
+                                           const std::string& predicate);
+
+// Runs the TLP partition oracle for predicate `p` over `table`.
+Result<std::optional<LogicBug>> CheckTlp(Database& db, const std::string& table,
+                                         const std::string& predicate);
+
+struct LogicCampaignResult {
+  int predicates_checked = 0;
+  int skipped_errors = 0;  // predicates that failed to execute at all
+  std::vector<LogicBug> bugs;
+};
+
+// Generates boundary-valued predicates over the table's columns and runs
+// both oracles on each. Deterministic per seed.
+LogicCampaignResult RunLogicCampaign(Database& db, const std::string& table,
+                                     int predicate_budget, uint64_t seed = 1);
+
+}  // namespace soft
+
+#endif  // SRC_SOFT_LOGIC_ORACLE_H_

@@ -1,0 +1,447 @@
+#include "src/soft/patterns.h"
+
+#include <algorithm>
+
+#include "src/sqlparser/parser.h"
+#include "src/util/str_util.h"
+
+namespace soft {
+namespace {
+
+// Types the cast patterns sweep over.
+constexpr TypeKind kCastSweep[] = {
+    TypeKind::kInt,      TypeKind::kDouble, TypeKind::kDecimal, TypeKind::kString,
+    TypeKind::kBlob,     TypeKind::kBool,   TypeKind::kDate,    TypeKind::kDateTime,
+    TypeKind::kJson,     TypeKind::kArray,  TypeKind::kInet,    TypeKind::kGeometry,
+};
+
+// Canonical literal text castable to each sweep type (the "typed
+// constructor" variants of P2.1/P2.2).
+const char* CanonicalTextFor(TypeKind kind) {
+  switch (kind) {
+    case TypeKind::kInt:
+      return "'7'";
+    case TypeKind::kDouble:
+      return "'1.5'";
+    case TypeKind::kDecimal:
+      return "'1.5'";
+    case TypeKind::kString:
+      return "'zz'";
+    case TypeKind::kBlob:
+      return "'zz'";
+    case TypeKind::kBool:
+      return "'1'";
+    case TypeKind::kDate:
+      return "'2024-01-01'";
+    case TypeKind::kDateTime:
+      return "'2024-01-02 03:04:05'";
+    case TypeKind::kJson:
+      return "'[1]'";
+    case TypeKind::kArray:
+      return "'[1]'";
+    case TypeKind::kInet:
+      return "'1.2.3.4'";
+    case TypeKind::kGeometry:
+      return "'POINT(1 2)'";
+    default:
+      return "'0'";
+  }
+}
+
+// Mutable access to the function-call nodes of a cloned tree, in the same
+// deterministic pre-order that CollectFunctionCalls uses.
+std::vector<Expr*> CallSites(Expr& root) {
+  std::vector<Expr*> out;
+  root.CollectFunctionCalls(out);
+  return out;
+}
+
+bool IsStringLiteral(const Expr& e) {
+  return e.kind == ExprKind::kLiteral && e.literal.kind() == TypeKind::kString;
+}
+
+bool IsNumericLiteral(const Expr& e) {
+  return e.kind == ExprKind::kLiteral && e.literal.is_numeric();
+}
+
+// Builds (SELECT lhs UNION SELECT rhs) as an expression.
+ExprPtr UnionSubquery(ExprPtr lhs, ExprPtr rhs) {
+  auto left = std::make_unique<SelectStmt>();
+  left->items.emplace_back(std::move(lhs), "");
+  auto right = std::make_unique<SelectStmt>();
+  right->items.emplace_back(std::move(rhs), "");
+  left->union_next = std::move(right);
+  return MakeSubquery(std::move(left));
+}
+
+ExprPtr CastText(const char* text, TypeKind kind) {
+  return MakeCast(MakeLiteral(Value::Str(std::string(text).substr(
+                      1, std::string(text).size() - 2))),  // strip quotes
+                  kind);
+}
+
+}  // namespace
+
+PatternEngine::PatternEngine(const Database& db, uint64_t seed, PatternOptions options)
+    : db_(db), rng_(seed), options_(std::move(options)) {
+  pool_ = GenerateBoundaryPool();
+}
+
+bool PatternEngine::ParseSeed(const std::string& seed_expr, ExprPtr& root) const {
+  Result<ExprPtr> parsed = ParseExpression(seed_expr);
+  if (!parsed.ok()) {
+    return false;
+  }
+  root = std::move(parsed).value();
+  const int calls = root->CountFunctionCalls();
+  // Finding-3 cutoff: expressions with more than max_seed_functions function
+  // calls are not expanded further.
+  return calls >= 1 && calls <= options_.max_seed_functions;
+}
+
+template <typename Mutator>
+void PatternEngine::EmitVariant(const ExprPtr& root, size_t call_idx, size_t arg_idx,
+                                const char* pattern, std::vector<GeneratedCase>& out,
+                                Mutator&& mutate) {
+  ExprPtr clone = root->Clone();
+  std::vector<Expr*> calls = CallSites(*clone);
+  if (call_idx >= calls.size() || arg_idx >= calls[call_idx]->args.size()) {
+    return;
+  }
+  mutate(calls[call_idx]->args[arg_idx]);
+  out.push_back(GeneratedCase{"SELECT " + clone->ToSql(), pattern});
+}
+
+void PatternEngine::ApplyP12(const ExprPtr& root, std::vector<GeneratedCase>& out) {
+  std::vector<Expr*> calls = CallSites(*const_cast<Expr*>(root.get()));
+  for (size_t c = 0; c < calls.size(); ++c) {
+    for (size_t a = 0; a < calls[c]->args.size(); ++a) {
+      for (const std::string& snippet : pool_.snippets) {
+        Result<ExprPtr> bound = ParseExpression(snippet);
+        if (!bound.ok()) {
+          continue;
+        }
+        ExprPtr replacement = std::move(bound).value();
+        EmitVariant(root, c, a, "P1.2", out, [&](ExprPtr& slot) {
+          slot = std::move(replacement);
+        });
+      }
+    }
+  }
+}
+
+void PatternEngine::ApplyP13(const ExprPtr& root, std::vector<GeneratedCase>& out) {
+  std::vector<Expr*> calls = CallSites(*const_cast<Expr*>(root.get()));
+  for (size_t c = 0; c < calls.size(); ++c) {
+    for (size_t a = 0; a < calls[c]->args.size(); ++a) {
+      const Expr& arg = *calls[c]->args[a];
+      for (int digits : {5, 20, 40, 45, 60, 65}) {
+        const std::string stuffing(static_cast<size_t>(digits), '9');
+        if (IsNumericLiteral(arg)) {
+          // Stuff digits into the numeric text: 1.5 -> 1.999…995 etc.
+          const std::string text = arg.literal.ToDisplayString();
+          const size_t split = text.size() / 2 + (text[0] == '-' ? 1 : 0);
+          const std::string stuffed =
+              text.substr(0, split) + stuffing + text.substr(split);
+          Result<Decimal> dec = Decimal::FromString(stuffed);
+          if (!dec.ok()) {
+            continue;
+          }
+          Value v = Value::Dec(std::move(dec).value());
+          EmitVariant(root, c, a, "P1.3", out, [&](ExprPtr& slot) {
+            slot = MakeLiteral(std::move(v));
+          });
+        } else if (IsStringLiteral(arg)) {
+          const std::string& text = arg.literal.string_value();
+          const size_t split = text.size() / 2;
+          std::string stuffed = text.substr(0, split) + stuffing + text.substr(split);
+          EmitVariant(root, c, a, "P1.3", out, [&](ExprPtr& slot) {
+            slot = MakeLiteral(Value::Str(std::move(stuffed)));
+          });
+        }
+      }
+    }
+  }
+}
+
+void PatternEngine::ApplyP14(const ExprPtr& root, std::vector<GeneratedCase>& out) {
+  std::vector<Expr*> calls = CallSites(*const_cast<Expr*>(root.get()));
+  for (size_t c = 0; c < calls.size(); ++c) {
+    for (size_t a = 0; a < calls[c]->args.size(); ++a) {
+      const Expr& arg = *calls[c]->args[a];
+      if (!IsStringLiteral(arg) || arg.literal.string_value().empty()) {
+        continue;
+      }
+      const std::string& text = arg.literal.string_value();
+      // Repeat each distinct structural character at its first occurrence.
+      std::string seen;
+      for (size_t i = 0; i < text.size(); ++i) {
+        const char ch = text[i];
+        if (seen.find(ch) != std::string::npos) {
+          continue;
+        }
+        seen.push_back(ch);
+        for (int reps : {4, 8, 16, 64, 256}) {
+          std::string repeated =
+              text.substr(0, i) + std::string(static_cast<size_t>(reps), ch) +
+              text.substr(i);
+          EmitVariant(root, c, a, "P1.4", out, [&](ExprPtr& slot) {
+            slot = MakeLiteral(Value::Str(std::move(repeated)));
+          });
+        }
+      }
+    }
+  }
+}
+
+void PatternEngine::ApplyP21(const ExprPtr& root, std::vector<GeneratedCase>& out) {
+  std::vector<Expr*> calls = CallSites(*const_cast<Expr*>(root.get()));
+  for (size_t c = 0; c < calls.size(); ++c) {
+    for (size_t a = 0; a < calls[c]->args.size(); ++a) {
+      for (TypeKind kind : kCastSweep) {
+        // CAST(c AS T): wrap the original argument.
+        EmitVariant(root, c, a, "P2.1", out, [&](ExprPtr& slot) {
+          slot = MakeCast(std::move(slot), kind);
+        });
+        // Typed-constructor variant: CAST('canonical' AS T).
+        EmitVariant(root, c, a, "P2.1", out, [&](ExprPtr& slot) {
+          slot = CastText(CanonicalTextFor(kind), kind);
+        });
+      }
+    }
+  }
+}
+
+void PatternEngine::ApplyP22(const ExprPtr& root, std::vector<GeneratedCase>& out) {
+  std::vector<Expr*> calls = CallSites(*const_cast<Expr*>(root.get()));
+  for (size_t c = 0; c < calls.size(); ++c) {
+    for (size_t a = 0; a < calls[c]->args.size(); ++a) {
+      for (TypeKind kind :
+           {TypeKind::kInt, TypeKind::kDouble, TypeKind::kDecimal, TypeKind::kString,
+            TypeKind::kDate, TypeKind::kDateTime}) {
+        // (SELECT c UNION SELECT CAST(canon AS T)): the original value is
+        // implicitly unified with a typed constructor.
+        EmitVariant(root, c, a, "P2.2", out, [&](ExprPtr& slot) {
+          slot = UnionSubquery(std::move(slot), CastText(CanonicalTextFor(kind), kind));
+        });
+      }
+      // Canonical two-branch variants that unify to temporal / numeric
+      // supertypes regardless of the original argument.
+      struct Pair {
+        TypeKind a;
+        TypeKind b;
+      };
+      for (const Pair& pair : {Pair{TypeKind::kDate, TypeKind::kDateTime},
+                               Pair{TypeKind::kDate, TypeKind::kDate},
+                               Pair{TypeKind::kInt, TypeKind::kDouble},
+                               Pair{TypeKind::kInt, TypeKind::kDecimal}}) {
+        EmitVariant(root, c, a, "P2.2", out, [&](ExprPtr& slot) {
+          slot = UnionSubquery(CastText(CanonicalTextFor(pair.a), pair.a),
+                               CastText(CanonicalTextFor(pair.b), pair.b));
+        });
+      }
+    }
+  }
+}
+
+void PatternEngine::ApplyP23(const ExprPtr& root, const std::vector<std::string>& corpus,
+                             std::vector<GeneratedCase>& out) {
+  // Donor argument *lists* from other corpus entries. The pattern as defined
+  // is f(c), f2(c2) → f(c2): f receives f2's whole argument list. This is
+  // how the paper's CVE-2023-5868 PoC arises — JSONB_OBJECT_AGG(DISTINCT
+  // k, v) inheriting two string arguments from a string function.
+  std::vector<std::vector<ExprPtr>> donor_lists;
+  std::vector<ExprPtr> donor_args;  // individual donors for partial variants
+  for (int i = 0; i < options_.donor_sample * 3 && !corpus.empty(); ++i) {
+    const std::string& donor_text = corpus[rng_.NextBelow(corpus.size())];
+    Result<ExprPtr> donor = ParseExpression(donor_text);
+    if (!donor.ok() || (*donor)->kind != ExprKind::kFunctionCall ||
+        (*donor)->args.empty()) {
+      continue;
+    }
+    std::vector<ExprPtr> list;
+    bool all_literalish = true;
+    for (ExprPtr& arg : (*donor)->args) {
+      if (arg->CountFunctionCalls() > 0 ||
+          (arg->kind == ExprKind::kLiteral && arg->literal.is_star())) {
+        all_literalish = false;
+        break;
+      }
+      list.push_back(arg->Clone());
+    }
+    if (!all_literalish) {
+      continue;
+    }
+    for (ExprPtr& arg : (*donor)->args) {
+      if (arg->kind == ExprKind::kLiteral) {
+        donor_args.push_back(std::move(arg));
+      }
+    }
+    donor_lists.push_back(std::move(list));
+    if (static_cast<int>(donor_lists.size()) >= options_.donor_sample) {
+      break;
+    }
+  }
+
+  std::vector<Expr*> probe = CallSites(*const_cast<Expr*>(root.get()));
+  for (size_t c = 0; c < probe.size(); ++c) {
+    // Full argument-list replacement (the pattern as written).
+    for (const std::vector<ExprPtr>& list : donor_lists) {
+      ExprPtr clone = root->Clone();
+      std::vector<Expr*> calls = CallSites(*clone);
+      if (c >= calls.size()) {
+        continue;
+      }
+      calls[c]->args.clear();
+      for (const ExprPtr& arg : list) {
+        calls[c]->args.push_back(arg->Clone());
+      }
+      out.push_back(GeneratedCase{"SELECT " + clone->ToSql(), "P2.3"});
+    }
+    // Single-argument donor variants (partial application of the pattern).
+    for (size_t a = 0; a < probe[c]->args.size(); ++a) {
+      for (const ExprPtr& donor : donor_args) {
+        EmitVariant(root, c, a, "P2.3", out, [&](ExprPtr& slot) {
+          slot = donor->Clone();
+        });
+      }
+    }
+  }
+}
+
+void PatternEngine::ApplyP31(const ExprPtr& root, std::vector<GeneratedCase>& out) {
+  if (!db_.registry().Contains("REPEAT")) {
+    return;
+  }
+  std::vector<Expr*> calls = CallSites(*const_cast<Expr*>(root.get()));
+  for (size_t c = 0; c < calls.size(); ++c) {
+    for (size_t a = 0; a < calls[c]->args.size(); ++a) {
+      const Expr& arg = *calls[c]->args[a];
+      // c[:i] of the original argument: string literals contribute their raw
+      // text, other literals (numbers, blobs) their textual payload — the
+      // pattern repeats a *prefix of the argument*, whatever its kind.
+      if (arg.kind != ExprKind::kLiteral || arg.literal.is_null() ||
+          arg.literal.is_star()) {
+        continue;
+      }
+      const std::string text = arg.literal.kind() == TypeKind::kBlob
+                                   ? arg.literal.blob_value()
+                                   : arg.literal.ToDisplayString();
+      if (text.empty()) {
+        continue;
+      }
+      for (size_t prefix_len : {size_t{1}, size_t{2}, size_t{4}}) {
+        if (prefix_len > text.size()) {
+          break;
+        }
+        const std::string prefix = text.substr(0, prefix_len);
+        for (int64_t bound : options_.repeat_bounds) {
+          EmitVariant(root, c, a, "P3.1", out, [&](ExprPtr& slot) {
+            std::vector<ExprPtr> args;
+            args.push_back(MakeLiteral(Value::Str(prefix)));
+            args.push_back(MakeLiteral(Value::Int(bound)));
+            slot = MakeFunctionCall("REPEAT", std::move(args));
+          });
+        }
+      }
+    }
+  }
+}
+
+void PatternEngine::ApplyP32(const ExprPtr& root, std::vector<GeneratedCase>& out) {
+  // Wrappers: unary-capable functions sampled from the catalog.
+  std::vector<const FunctionDef*> wrappers;
+  for (const FunctionDef* def : db_.registry().All()) {
+    if (!def->is_aggregate && def->min_args <= 1 &&
+        (def->max_args < 0 || def->max_args >= 1)) {
+      wrappers.push_back(def);
+    }
+  }
+  if (wrappers.empty()) {
+    return;
+  }
+  std::vector<Expr*> calls = CallSites(*const_cast<Expr*>(root.get()));
+  for (size_t c = 0; c < calls.size(); ++c) {
+    for (size_t a = 0; a < calls[c]->args.size(); ++a) {
+      for (int k = 0; k < options_.donor_sample; ++k) {
+        const FunctionDef* wrapper = wrappers[rng_.NextBelow(wrappers.size())];
+        EmitVariant(root, c, a, "P3.2", out, [&](ExprPtr& slot) {
+          std::vector<ExprPtr> args;
+          args.push_back(std::move(slot));
+          slot = MakeFunctionCall(wrapper->name, std::move(args));
+        });
+      }
+    }
+  }
+}
+
+void PatternEngine::ApplyP33(const ExprPtr& root, const std::vector<std::string>& corpus,
+                             std::vector<GeneratedCase>& out) {
+  if (corpus.empty()) {
+    return;
+  }
+  std::vector<Expr*> calls = CallSites(*const_cast<Expr*>(root.get()));
+  for (size_t c = 0; c < calls.size(); ++c) {
+    for (size_t a = 0; a < calls[c]->args.size(); ++a) {
+      for (int k = 0; k < options_.donor_sample; ++k) {
+        const std::string& donor_text = corpus[rng_.NextBelow(corpus.size())];
+        Result<ExprPtr> donor = ParseExpression(donor_text);
+        if (!donor.ok() || (*donor)->kind != ExprKind::kFunctionCall) {
+          continue;
+        }
+        ExprPtr replacement = std::move(donor).value();
+        EmitVariant(root, c, a, "P3.3", out, [&](ExprPtr& slot) {
+          slot = std::move(replacement);
+        });
+      }
+    }
+  }
+}
+
+void PatternEngine::GenerateAll(const std::string& seed_expr,
+                                const std::vector<std::string>& corpus,
+                                std::vector<GeneratedCase>& out) {
+  ExprPtr root;
+  if (!ParseSeed(seed_expr, root)) {
+    return;
+  }
+  ApplyP12(root, out);
+  ApplyP13(root, out);
+  ApplyP14(root, out);
+  ApplyP21(root, out);
+  ApplyP22(root, out);
+  ApplyP23(root, corpus, out);
+  ApplyP31(root, out);
+  ApplyP32(root, out);
+  ApplyP33(root, corpus, out);
+}
+
+void PatternEngine::GenerateOne(const std::string& pattern, const std::string& seed_expr,
+                                const std::vector<std::string>& corpus,
+                                std::vector<GeneratedCase>& out) {
+  ExprPtr root;
+  if (!ParseSeed(seed_expr, root)) {
+    return;
+  }
+  if (pattern == "P1.2") {
+    ApplyP12(root, out);
+  } else if (pattern == "P1.3") {
+    ApplyP13(root, out);
+  } else if (pattern == "P1.4") {
+    ApplyP14(root, out);
+  } else if (pattern == "P2.1") {
+    ApplyP21(root, out);
+  } else if (pattern == "P2.2") {
+    ApplyP22(root, out);
+  } else if (pattern == "P2.3") {
+    ApplyP23(root, corpus, out);
+  } else if (pattern == "P3.1") {
+    ApplyP31(root, out);
+  } else if (pattern == "P3.2") {
+    ApplyP32(root, out);
+  } else if (pattern == "P3.3") {
+    ApplyP33(root, corpus, out);
+  }
+}
+
+}  // namespace soft

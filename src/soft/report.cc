@@ -1,0 +1,41 @@
+#include "src/soft/report.h"
+
+namespace soft {
+
+std::string RenderBugReport(const Database& db, const FoundBug& bug) {
+  std::string out;
+  out += "## BUG-" + bug.crash.dbms + "-" + std::to_string(bug.crash.bug_id) + ": " +
+         std::string(CrashTypeLongName(bug.crash.crash)) + " in " + bug.crash.function +
+         "\n\n";
+  out += "* **Target:** " + db.config().name + " (simulated dialect)\n";
+  out += "* **Crash type:** " + std::string(CrashTypeName(bug.crash.crash)) + " (" +
+         std::string(CrashTypeLongName(bug.crash.crash)) + ")\n";
+  out += "* **Processing stage:** " + std::string(StageName(bug.crash.stage)) + "\n";
+  out += "* **Found by pattern:** " + bug.found_by + " after " +
+         std::to_string(bug.statements_until_found) + " statements\n\n";
+  out += "### Reproduction\n\n```sql\n" + bug.poc_sql + ";\n```\n\n";
+  out += "### Analysis\n\n" + bug.crash.description + "\n";
+  return out;
+}
+
+std::string RenderCampaignReport(const Database& db, const CampaignResult& result) {
+  std::string out;
+  out += "# SOFT campaign report — " + result.dialect + "\n\n";
+  out += "| metric | value |\n|---|---|\n";
+  out += "| tool | " + result.tool + " |\n";
+  out += "| statements executed | " + std::to_string(result.statements_executed) + " |\n";
+  out += "| SQL errors | " + std::to_string(result.sql_errors) + " |\n";
+  out += "| crash events | " + std::to_string(result.crashes_observed) + " |\n";
+  out += "| unique bugs | " + std::to_string(result.unique_bugs.size()) + " |\n";
+  out += "| false positives (resource limits) | " +
+         std::to_string(result.false_positives) + " |\n";
+  out += "| functions triggered | " + std::to_string(result.functions_triggered) + " |\n";
+  out += "| branches covered | " + std::to_string(result.branches_covered) + " |\n\n";
+  for (const FoundBug& bug : result.unique_bugs) {
+    out += RenderBugReport(db, bug);
+    out += "\n---\n\n";
+  }
+  return out;
+}
+
+}  // namespace soft

@@ -1,0 +1,25 @@
+// Bug-report rendering: the artifact SOFT hands to DBMS vendors (the paper
+// reported all 132 findings upstream; Figure 2 shows the reactions).
+//
+// Reports are Markdown with the reproduction script (prerequisites + PoC),
+// crash classification, stage, and the boundary-value-generation pattern
+// that constructed the input — everything a triager needs.
+#ifndef SRC_SOFT_REPORT_H_
+#define SRC_SOFT_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/soft/campaign.h"
+
+namespace soft {
+
+// One finding as a self-contained Markdown report.
+std::string RenderBugReport(const Database& db, const FoundBug& bug);
+
+// A campaign summary: header stats plus every finding.
+std::string RenderCampaignReport(const Database& db, const CampaignResult& result);
+
+}  // namespace soft
+
+#endif  // SRC_SOFT_REPORT_H_

@@ -1,0 +1,141 @@
+#include "src/soft/seeds.h"
+
+namespace soft {
+namespace {
+
+// Queries every dialect's suite contains (common SQL).
+const char* const kGenericSuite[] = {
+    "CREATE TABLE t1 (a INT, b STRING, c DOUBLE)",
+    "INSERT INTO t1 VALUES (1, 'one', 1.5), (2, 'two', 2.5), (3, 'three', 3.5)",
+    "CREATE TABLE dates (d DATE, note STRING)",
+    "INSERT INTO dates VALUES ('2024-01-31', 'jan'), ('2024-02-29', 'leap')",
+    "SELECT UPPER(b) FROM t1 WHERE a > 1",
+    "SELECT LENGTH(b), REVERSE(b) FROM t1",
+    "SELECT CONCAT(b, '-', b) FROM t1 ORDER BY a",
+    "SELECT SUBSTR(b, 1, 2) FROM t1",
+    "SELECT REPLACE(b, 'o', '0') FROM t1",
+    "SELECT TRIM('  padded  ')",
+    "SELECT LPAD('5', 3, '0'), RPAD('5', 3, '0')",
+    "SELECT REPEAT('ab', 3)",
+    "SELECT ABS(-5), SIGN(-5), MOD(10, 3)",
+    "SELECT ROUND(c, 1), FLOOR(c), CEIL(c) FROM t1",
+    "SELECT SQRT(2), POWER(2, 10), EXP(1)",
+    "SELECT COUNT(*) FROM t1",
+    "SELECT SUM(a), AVG(a), MIN(a), MAX(a) FROM t1",
+    "SELECT b, COUNT(a) FROM t1 GROUP BY b HAVING COUNT(a) > 0",
+    "SELECT GROUP_CONCAT(b) FROM t1",
+    "SELECT IFNULL(NULL, 'fallback'), COALESCE(NULL, b) FROM t1",
+    "SELECT NULLIF(a, 2) FROM t1",
+    "SELECT YEAR(d), MONTH(d), DAY(d) FROM dates",
+    "SELECT DATEDIFF(d, '2024-01-01') FROM dates",
+    "SELECT DATE_ADD(d, 30) FROM dates",
+    "SELECT CAST(a AS STRING) FROM t1 UNION SELECT b FROM t1",
+    "SELECT a FROM t1 UNION ALL SELECT a + 1 FROM t1",
+    "SELECT ASCII(b) FROM t1",
+};
+
+// Seed lines shared by the dialects that ship the fuller string/condition
+// surface (everything except PostgreSQL's and MonetDB's pruned catalogs).
+const char* const kRichStringSuite[] = {
+    "SELECT HEX(b) FROM t1",
+    "SELECT INSTR(b, 'o'), STRCMP(b, 'one') FROM t1",
+    "SELECT GREATEST(1, 2, 3), LEAST(1, 2, 3)",
+};
+
+const char* const kJsonSuite[] = {
+    "SELECT JSON_VALID('{\"a\": 1}')",
+    "SELECT JSON_LENGTH('[1,2,3]', '$')",
+    "SELECT JSON_EXTRACT('{\"a\": [1,2]}', '$.a[1]')",
+    "SELECT JSON_TYPE('[1]')",
+};
+
+const char* const kSpatialSuite[] = {
+    "SELECT ST_ASTEXT(ST_GEOMFROMTEXT('POINT(1 2)'))",
+    "SELECT ST_X(POINT(1, 2)), ST_Y(POINT(1, 2))",
+    "SELECT ST_LENGTH(ST_GEOMFROMTEXT('LINESTRING(0 0, 3 4)'))",
+    "SELECT BOUNDARY(ST_GEOMFROMTEXT('LINESTRING(0 0, 1 1)'))",
+};
+
+void Append(std::vector<std::string>& out, const char* const* items, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    out.emplace_back(items[i]);
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> SeedSuiteFor(const std::string& dialect) {
+  std::vector<std::string> out;
+  Append(out, kGenericSuite, std::size(kGenericSuite));
+
+  if (dialect == "postgresql") {
+    out.push_back("SELECT HEX(b), STRCMP(b, 'one') FROM t1");
+    out.push_back("SELECT GREATEST(1, 2, 3), LEAST(1, 2, 3)");
+    out.push_back("SELECT JSONB_OBJECT_AGG(b, a) FROM t1");
+    out.push_back("SELECT JSONB_OBJECT_AGG(DISTINCT b, a) FROM t1");
+    out.push_back("SELECT SPLIT_PART('a,b,c', ',', 2)");
+    out.push_back("SELECT INITCAP('hello world')");
+    Append(out, kJsonSuite, std::size(kJsonSuite));
+  } else if (dialect == "mysql") {
+    Append(out, kRichStringSuite, std::size(kRichStringSuite));
+    out.push_back("SELECT UPDATEXML('<a><c></c></a>', '/a/c[1]', '<b></b>')");
+    out.push_back("SELECT EXTRACTVALUE('<a><b>x</b></a>', '/a/b')");
+    out.push_back("SELECT FORMAT(1234.5678, 2)");
+    out.push_back("SELECT BENCHMARK(10, 1 + 1)");
+    out.push_back("SELECT SLEEP(0)");
+    out.push_back("SELECT CHARSET('x'), COLLATION('x'), COERCIBILITY('x')");
+    Append(out, kJsonSuite, std::size(kJsonSuite));
+    Append(out, kSpatialSuite, std::size(kSpatialSuite));
+  } else if (dialect == "mariadb") {
+    Append(out, kRichStringSuite, std::size(kRichStringSuite));
+    out.push_back("SELECT COLUMN_JSON(COLUMN_CREATE('x', 1))");
+    out.push_back("SELECT NEXTVAL('s1'), LASTVAL('s1')");
+    out.push_back("SELECT FORMAT(1234.5678, 2, 'de_DE')");
+    out.push_back("SELECT MAKEDATE(2024, 60)");
+    out.push_back("SELECT DATE_FORMAT(d, '%Y/%m/%d') FROM dates");
+    out.push_back("SELECT INTERVAL(5, 1, 10)");
+    out.push_back("SELECT INET6_ATON('255.255.255.255')");
+    Append(out, kJsonSuite, std::size(kJsonSuite));
+    Append(out, kSpatialSuite, std::size(kSpatialSuite));
+  } else if (dialect == "clickhouse") {
+    Append(out, kRichStringSuite, std::size(kRichStringSuite));
+    out.push_back("SELECT TOSTRING(1.5), TOINT64('42'), TOFLOAT64('1.5')");
+    out.push_back("SELECT TODECIMAL256('1.5'), TODECIMALSTRING(1.5, 4)");
+    out.push_back("SELECT TODATE('2024-06-15')");
+    out.push_back("SELECT ARRAY_CONCAT(ARRAY[1], ARRAY[2])");
+    out.push_back("SELECT ELEMENT_AT(ARRAY[1, 2, 3], 2)");
+    Append(out, kJsonSuite, std::size(kJsonSuite));
+  } else if (dialect == "monetdb") {
+    out.push_back("SELECT INSTR(b, 'o') FROM t1");
+    out.push_back("SELECT JSON_EXTRACT('[[1]]', '$[0][0]')");
+    out.push_back("SELECT LOCATE('na', 'banana', 3)");
+    out.push_back("SELECT STDDEV(a), VARIANCE(a) FROM t1");
+    out.push_back("SELECT TYPEOF(1)");
+    out.push_back("SELECT SLEEP(0)");
+    out.push_back("SELECT JSON_VALID('{\"a\": 1}')");
+  } else if (dialect == "duckdb") {
+    Append(out, kRichStringSuite, std::size(kRichStringSuite));
+    out.push_back("SELECT ELEMENT_AT(ARRAY[1, 2, 3], 2)");
+    out.push_back("SELECT ARRAY_SLICE(ARRAY[1, 2, 3], 1, 2)");
+    out.push_back("SELECT ARRAY_POSITION(ARRAY[1, 2], 2)");
+    out.push_back("SELECT MAP_EXTRACT(MAP(ARRAY['a'], ARRAY[1]), 'a')");
+    out.push_back("SELECT CARDINALITY(ARRAY[1, 2])");
+    out.push_back("SELECT TYPEOF(1)");
+    Append(out, kJsonSuite, std::size(kJsonSuite));
+  } else if (dialect == "virtuoso") {
+    Append(out, kRichStringSuite, std::size(kRichStringSuite));
+    out.push_back("SELECT CONTAINS('haystack', 'hay')");
+    out.push_back("SELECT AREF(VECTOR(1, 2, 3), 1)");
+    out.push_back("SELECT HASHINT('x'), RDF_BOX(1)");
+    out.push_back("SELECT SYS_STAT('st_dbms_ver')");
+    out.push_back("SELECT BLOB_TO_STRING(STRING_TO_BLOB('abc'))");
+    out.push_back("SELECT INTERNAL_TYPE_NAME(1)");
+    out.push_back("SELECT UPDATEXML('<a><c></c></a>', '/a/c[1]', '<b></b>')");
+    out.push_back("SELECT EXTRACTVALUE('<a><b>x</b></a>', '/a/b')");
+    Append(out, kJsonSuite, std::size(kJsonSuite));
+    Append(out, kSpatialSuite, std::size(kSpatialSuite));
+  }
+  return out;
+}
+
+}  // namespace soft

@@ -1,0 +1,20 @@
+// Per-dialect regression-suite stand-ins: the seed scripts SOFT harvests
+// function expressions from (Section 7.1). Each suite mixes literal-only
+// queries, table-backed queries with CREATE/INSERT prerequisites, and
+// UNION/GROUP BY shapes — mirroring the Finding 4 split of prerequisite
+// dependence in real bug-inducing statements.
+#ifndef SRC_SOFT_SEEDS_H_
+#define SRC_SOFT_SEEDS_H_
+
+#include <string>
+#include <vector>
+
+namespace soft {
+
+// Seed script lines for a dialect ("postgresql", "mysql", ...). Unknown
+// names get the generic suite.
+std::vector<std::string> SeedSuiteFor(const std::string& dialect);
+
+}  // namespace soft
+
+#endif  // SRC_SOFT_SEEDS_H_

@@ -1,0 +1,120 @@
+#include "src/soft/soft_fuzzer.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/soft/expr_collection.h"
+#include "src/soft/seeds.h"
+#include "src/util/rng.h"
+
+namespace soft {
+
+SoftFuzzer::SoftFuzzer(SoftOptions options) : soft_options_(std::move(options)) {}
+
+CampaignResult SoftFuzzer::Run(Database& db, const CampaignOptions& options) {
+  CampaignResult result;
+  result.tool = name();
+  result.dialect = db.config().name;
+
+  const size_t expected_bugs = db.faults().bug_count();
+  Rng rng(options.seed);
+
+  // Step 1: function-expression collection (documentation + suite).
+  const std::vector<std::string> suite = SeedSuiteFor(db.config().name);
+  const FunctionCorpus corpus = CollectCorpus(db, suite);
+
+  // Prerequisites: tables the suite queries depend on (Finding 4).
+  for (const std::string& prereq : corpus.prerequisites) {
+    db.Execute(prereq);
+  }
+
+  // Step 2: pattern-based generation.
+  PatternEngine engine(db, options.seed, soft_options_.patterns);
+  if (soft_options_.extremes_only_pool) {
+    engine.set_pool(GenerateExtremesOnlyPool());
+  }
+  std::vector<GeneratedCase> cases;
+  // The suite's own queries and every collected expression run first (the
+  // corpus replay: SOFT validates each harvested function expression before
+  // mutating it), warming function-trigger coverage across the catalog.
+  for (const std::string& seed : suite) {
+    cases.push_back(GeneratedCase{seed, "seed"});
+  }
+  for (const std::string& expr : corpus.expressions) {
+    cases.push_back(GeneratedCase{"SELECT " + expr, "seed"});
+  }
+  for (const std::string& expr : corpus.expressions) {
+    if (soft_options_.only_patterns.empty()) {
+      engine.GenerateAll(expr, corpus.expressions, cases);
+    } else {
+      for (const std::string& pattern : soft_options_.only_patterns) {
+        engine.GenerateOne(pattern, expr, corpus.expressions, cases);
+      }
+    }
+  }
+  // Deduplicate by statement text (the patterns overlap on simple seeds),
+  // then shuffle so the statement budget samples all patterns and seeds
+  // uniformly (Fisher-Yates with the campaign RNG).
+  {
+    std::set<std::string> seen;
+    std::vector<GeneratedCase> unique_cases;
+    unique_cases.reserve(cases.size());
+    for (GeneratedCase& test_case : cases) {
+      if (seen.insert(test_case.sql).second) {
+        unique_cases.push_back(std::move(test_case));
+      }
+    }
+    cases = std::move(unique_cases);
+  }
+  // Keep the corpus-replay prefix in place; shuffle only the generated tail
+  // so the budget samples patterns and seeds uniformly.
+  size_t first_generated = 0;
+  while (first_generated < cases.size() && cases[first_generated].pattern == "seed") {
+    ++first_generated;
+  }
+  for (size_t i = cases.size(); i > first_generated + 1; --i) {
+    const size_t j = first_generated + rng.NextBelow(i - first_generated);
+    std::swap(cases[i - 1], cases[j]);
+  }
+
+  // Step 3: execution and crash detection.
+  std::set<int> found_ids;
+  for (const GeneratedCase& test_case : cases) {
+    if (result.statements_executed >= options.max_statements) {
+      break;
+    }
+    ++result.statements_executed;
+    const StatementResult r = db.Execute(test_case.sql);
+    if (r.crashed()) {
+      ++result.crashes_observed;
+      if (found_ids.insert(r.crash->bug_id).second) {
+        FoundBug bug;
+        bug.crash = *r.crash;
+        bug.poc_sql = test_case.sql;
+        bug.found_by = test_case.pattern;
+        bug.statements_until_found = result.statements_executed;
+        result.unique_bugs.push_back(std::move(bug));
+      }
+      if (options.stop_when_all_bugs_found && found_ids.size() >= expected_bugs) {
+        break;
+      }
+      continue;
+    }
+    if (r.status.code() == StatusCode::kResourceExhausted) {
+      // The server killed the query on a resource limit: initially flagged
+      // as a crash by the detector, later triaged as a false positive
+      // (Section 7.3's REPEAT('a', 9999999999) class).
+      ++result.false_positives;
+      continue;
+    }
+    if (!r.ok()) {
+      ++result.sql_errors;
+    }
+  }
+
+  result.functions_triggered = db.coverage().TriggeredFunctionCount();
+  result.branches_covered = db.coverage().CoveredBranchCount();
+  return result;
+}
+
+}  // namespace soft

@@ -1,0 +1,235 @@
+// Built-in array / map functions (DuckDB-style).
+//
+// DuckDB contributed 9 array and 3 map bugs to Table 4, mostly assertion
+// failures on boundary indexes and empty containers. The reference
+// implementations validate indexes and element types explicitly.
+#include "src/sqlfunc/function.h"
+
+namespace soft {
+namespace {
+
+Result<ValueList> ArgArray(FunctionContext& ctx, const Value& v) {
+  if (v.kind() == TypeKind::kArray) {
+    return v.array_items();
+  }
+  SOFT_ASSIGN_OR_RETURN(Value arr, CastValue(v, TypeKind::kArray, ctx.cast_options()));
+  if (arr.is_null()) {
+    return TypeError("argument is not an array");
+  }
+  return arr.array_items();
+}
+
+Result<Value> FnArrayLength(FunctionContext& ctx, const ValueList& args) {
+  SOFT_ASSIGN_OR_RETURN(ValueList items, ArgArray(ctx, args[0]));
+  if (items.empty()) {
+    ctx.Cover(1);
+  }
+  return Value::Int(static_cast<int64_t>(items.size()));
+}
+
+// ELEMENT_AT(array, index) — 1-based; negative counts from the end; 0 and
+// out-of-range are validated (the DuckDB assertion-failure class).
+Result<Value> FnElementAt(FunctionContext& ctx, const ValueList& args) {
+  SOFT_ASSIGN_OR_RETURN(ValueList items, ArgArray(ctx, args[0]));
+  SOFT_ASSIGN_OR_RETURN(int64_t idx, ctx.ArgInt(args[1]));
+  if (idx == 0) {
+    ctx.Cover(1);
+    return InvalidArgument("array index 0 (arrays are 1-based)");
+  }
+  if (idx < 0) {
+    ctx.Cover(2);
+    idx = static_cast<int64_t>(items.size()) + idx + 1;
+  }
+  if (idx < 1 || idx > static_cast<int64_t>(items.size())) {
+    ctx.Cover(3);
+    return Value::Null();
+  }
+  return items[static_cast<size_t>(idx - 1)];
+}
+
+Result<Value> FnArrayConcat(FunctionContext& ctx, const ValueList& args) {
+  ValueList out;
+  for (const Value& v : args) {
+    SOFT_ASSIGN_OR_RETURN(ValueList items, ArgArray(ctx, v));
+    out.insert(out.end(), items.begin(), items.end());
+  }
+  if (out.size() > 1u << 22) {
+    ctx.Cover(1);
+    return ResourceExhausted("array concat result too large");
+  }
+  return Value::ArrayVal(std::move(out));
+}
+
+Result<Value> FnArrayAppend(FunctionContext& ctx, const ValueList& args) {
+  SOFT_ASSIGN_OR_RETURN(ValueList items, ArgArray(ctx, args[0]));
+  items.push_back(args[1]);
+  return Value::ArrayVal(std::move(items));
+}
+
+Result<Value> FnArrayContains(FunctionContext& ctx, const ValueList& args) {
+  SOFT_ASSIGN_OR_RETURN(ValueList items, ArgArray(ctx, args[0]));
+  for (const Value& item : items) {
+    if (item.Equals(args[1])) {
+      return Value::Boolean(true);
+    }
+  }
+  ctx.Cover(1);
+  return Value::Boolean(false);
+}
+
+Result<Value> FnArraySlice(FunctionContext& ctx, const ValueList& args) {
+  SOFT_ASSIGN_OR_RETURN(ValueList items, ArgArray(ctx, args[0]));
+  SOFT_ASSIGN_OR_RETURN(int64_t from, ctx.ArgInt(args[1]));
+  SOFT_ASSIGN_OR_RETURN(int64_t to, ctx.ArgInt(args[2]));
+  // Clamp both ends (validated slice — no assertion on reversed bounds).
+  if (from < 1) {
+    ctx.Cover(1);
+    from = 1;
+  }
+  if (to > static_cast<int64_t>(items.size())) {
+    ctx.Cover(2);
+    to = static_cast<int64_t>(items.size());
+  }
+  ValueList out;
+  for (int64_t i = from; i <= to; ++i) {
+    out.push_back(items[static_cast<size_t>(i - 1)]);
+  }
+  if (out.empty()) {
+    ctx.Cover(3);
+  }
+  return Value::ArrayVal(std::move(out));
+}
+
+Result<Value> FnArrayReverse(FunctionContext& ctx, const ValueList& args) {
+  SOFT_ASSIGN_OR_RETURN(ValueList items, ArgArray(ctx, args[0]));
+  ValueList out(items.rbegin(), items.rend());
+  return Value::ArrayVal(std::move(out));
+}
+
+Result<Value> FnArrayPosition(FunctionContext& ctx, const ValueList& args) {
+  SOFT_ASSIGN_OR_RETURN(ValueList items, ArgArray(ctx, args[0]));
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (items[i].Equals(args[1])) {
+      return Value::Int(static_cast<int64_t>(i) + 1);
+    }
+  }
+  ctx.Cover(1);
+  return Value::Null();
+}
+
+// MAP(keys_array, values_array).
+Result<Value> FnMap(FunctionContext& ctx, const ValueList& args) {
+  SOFT_ASSIGN_OR_RETURN(ValueList keys, ArgArray(ctx, args[0]));
+  SOFT_ASSIGN_OR_RETURN(ValueList values, ArgArray(ctx, args[1]));
+  if (keys.size() != values.size()) {
+    ctx.Cover(1);
+    return InvalidArgument("MAP key and value arrays must have equal length");
+  }
+  MapEntries entries;
+  entries.reserve(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (keys[i].is_null()) {
+      ctx.Cover(2);
+      return InvalidArgument("MAP keys must not be NULL");
+    }
+    entries.emplace_back(keys[i], values[i]);
+  }
+  return Value::MapVal(std::move(entries));
+}
+
+Result<Value> FnMapKeys(FunctionContext& ctx, const ValueList& args) {
+  if (args[0].kind() != TypeKind::kMap) {
+    ctx.Cover(1);
+    return TypeError("MAP_KEYS requires a MAP");
+  }
+  ValueList keys;
+  for (const auto& [k, v] : args[0].map_entries()) {
+    keys.push_back(k);
+  }
+  return Value::ArrayVal(std::move(keys));
+}
+
+Result<Value> FnMapValues(FunctionContext& ctx, const ValueList& args) {
+  if (args[0].kind() != TypeKind::kMap) {
+    ctx.Cover(1);
+    return TypeError("MAP_VALUES requires a MAP");
+  }
+  ValueList values;
+  for (const auto& [k, v] : args[0].map_entries()) {
+    values.push_back(v);
+  }
+  return Value::ArrayVal(std::move(values));
+}
+
+Result<Value> FnMapExtract(FunctionContext& ctx, const ValueList& args) {
+  if (args[0].kind() != TypeKind::kMap) {
+    ctx.Cover(1);
+    return TypeError("MAP_EXTRACT requires a MAP");
+  }
+  for (const auto& [k, v] : args[0].map_entries()) {
+    if (k.Equals(args[1])) {
+      return v;
+    }
+  }
+  ctx.Cover(2);
+  return Value::Null();
+}
+
+Result<Value> FnCardinality(FunctionContext& ctx, const ValueList& args) {
+  switch (args[0].kind()) {
+    case TypeKind::kArray:
+      return Value::Int(static_cast<int64_t>(args[0].array_items().size()));
+    case TypeKind::kMap:
+      ctx.Cover(1);
+      return Value::Int(static_cast<int64_t>(args[0].map_entries().size()));
+    default:
+      ctx.Cover(2);
+      return TypeError("CARDINALITY requires an ARRAY or MAP");
+  }
+}
+
+void Reg(FunctionRegistry& r, const char* name, FunctionType type, int min_args,
+         int max_args, ScalarFunction fn, const char* doc, const char* example) {
+  FunctionDef def;
+  def.name = name;
+  def.type = type;
+  def.min_args = min_args;
+  def.max_args = max_args;
+  def.scalar = std::move(fn);
+  def.doc = doc;
+  def.example = example;
+  r.Register(std::move(def));
+}
+
+}  // namespace
+
+void RegisterArrayMapFunctions(FunctionRegistry& r) {
+  Reg(r, "ARRAY_LENGTH", FunctionType::kArray, 1, 1, FnArrayLength, "Element count",
+      "ARRAY_LENGTH(ARRAY[1, 2, 3])");
+  Reg(r, "ELEMENT_AT", FunctionType::kArray, 2, 2, FnElementAt, "Element at 1-based index",
+      "ELEMENT_AT(ARRAY[1, 2, 3], 2)");
+  Reg(r, "ARRAY_CONCAT", FunctionType::kArray, 2, -1, FnArrayConcat, "Concatenate arrays",
+      "ARRAY_CONCAT(ARRAY[1], ARRAY[2])");
+  Reg(r, "ARRAY_APPEND", FunctionType::kArray, 2, 2, FnArrayAppend, "Append an element",
+      "ARRAY_APPEND(ARRAY[1], 2)");
+  Reg(r, "ARRAY_CONTAINS", FunctionType::kArray, 2, 2, FnArrayContains,
+      "Membership test", "ARRAY_CONTAINS(ARRAY[1, 2], 2)");
+  Reg(r, "ARRAY_SLICE", FunctionType::kArray, 3, 3, FnArraySlice, "Subrange of an array",
+      "ARRAY_SLICE(ARRAY[1, 2, 3], 1, 2)");
+  Reg(r, "ARRAY_REVERSE", FunctionType::kArray, 1, 1, FnArrayReverse, "Reverse an array",
+      "ARRAY_REVERSE(ARRAY[1, 2, 3])");
+  Reg(r, "ARRAY_POSITION", FunctionType::kArray, 2, 2, FnArrayPosition,
+      "1-based index of an element", "ARRAY_POSITION(ARRAY[1, 2], 2)");
+  Reg(r, "MAP", FunctionType::kMap, 2, 2, FnMap, "Map from key/value arrays",
+      "MAP(ARRAY['a'], ARRAY[1])");
+  Reg(r, "MAP_KEYS", FunctionType::kMap, 1, 1, FnMapKeys, "Keys of a map",
+      "MAP_KEYS(MAP(ARRAY['a'], ARRAY[1]))");
+  Reg(r, "MAP_VALUES", FunctionType::kMap, 1, 1, FnMapValues, "Values of a map",
+      "MAP_VALUES(MAP(ARRAY['a'], ARRAY[1]))");
+  Reg(r, "MAP_EXTRACT", FunctionType::kMap, 2, 2, FnMapExtract, "Value for a key",
+      "MAP_EXTRACT(MAP(ARRAY['a'], ARRAY[1]), 'a')");
+  Reg(r, "CARDINALITY", FunctionType::kArray, 1, 1, FnCardinality,
+      "Size of an array or map", "CARDINALITY(ARRAY[1, 2])");
+}
+
+}  // namespace soft

@@ -1,0 +1,176 @@
+// Built-in condition / control-flow functions.
+//
+// These opt out of NULL propagation — seeing NULLs is their job. INTERVAL is
+// the paper's MDEV-14596 exemplar: it relies on ordered comparison of its
+// arguments, so ROW-typed (non-comparable) inputs must be rejected; the
+// reference implementation checks, the injected MariaDB bug does not.
+#include "src/sqlfunc/function.h"
+
+namespace soft {
+namespace {
+
+Result<Value> FnIfnull(FunctionContext& ctx, const ValueList& args) {
+  if (args[0].is_null()) {
+    ctx.Cover(1);
+    return args[1];
+  }
+  return args[0];
+}
+
+Result<Value> FnNullif(FunctionContext& ctx, const ValueList& args) {
+  if (args[0].is_null() || args[1].is_null()) {
+    ctx.Cover(1);
+    return args[0];
+  }
+  SOFT_ASSIGN_OR_RETURN(int cmp, Value::Compare(args[0], args[1]));
+  if (cmp == 0) {
+    ctx.Cover(2);
+    return Value::Null();
+  }
+  return args[0];
+}
+
+Result<Value> FnCoalesce(FunctionContext& ctx, const ValueList& args) {
+  for (const Value& v : args) {
+    if (!v.is_null()) {
+      return v;
+    }
+  }
+  ctx.Cover(1);
+  return Value::Null();
+}
+
+Result<Value> FnIf(FunctionContext& ctx, const ValueList& args) {
+  if (args[0].is_null()) {
+    ctx.Cover(1);
+    return args[2];
+  }
+  SOFT_ASSIGN_OR_RETURN(Value cond, CoerceValue(args[0], TypeKind::kBool,
+                                                ctx.cast_options()));
+  return (!cond.is_null() && cond.bool_value()) ? args[1] : args[2];
+}
+
+Result<Value> FnIsnull(FunctionContext& ctx, const ValueList& args) {
+  return Value::Int(args[0].is_null() ? 1 : 0);
+}
+
+Result<Value> ExtremeImpl(FunctionContext& ctx, const ValueList& args, bool greatest) {
+  const Value* best = nullptr;
+  for (const Value& v : args) {
+    if (v.is_null()) {
+      ctx.Cover(1);
+      return Value::Null();
+    }
+    if (best == nullptr) {
+      best = &v;
+      continue;
+    }
+    SOFT_ASSIGN_OR_RETURN(int cmp, Value::Compare(v, *best));
+    if ((greatest && cmp > 0) || (!greatest && cmp < 0)) {
+      best = &v;
+    }
+  }
+  return *best;
+}
+
+Result<Value> FnGreatest(FunctionContext& ctx, const ValueList& args) {
+  return ExtremeImpl(ctx, args, /*greatest=*/true);
+}
+
+Result<Value> FnLeast(FunctionContext& ctx, const ValueList& args) {
+  return ExtremeImpl(ctx, args, /*greatest=*/false);
+}
+
+// INTERVAL(N, N1, N2, ...) — index of the last Ni <= N (MySQL definition:
+// returns the slot of N among the ordered thresholds).
+Result<Value> FnInterval(FunctionContext& ctx, const ValueList& args) {
+  if (args[0].is_null()) {
+    ctx.Cover(1);
+    return Value::Int(-1);
+  }
+  // The reference implementation validates comparability before comparing
+  // (MDEV-14596: ROW arguments must be rejected, not dereferenced).
+  if (!IsComparableType(args[0].kind())) {
+    ctx.Cover(2);
+    return TypeError("INTERVAL arguments must be comparable scalars");
+  }
+  int64_t index = 0;
+  for (size_t i = 1; i < args.size(); ++i) {
+    if (args[i].is_null()) {
+      ctx.Cover(3);
+      break;
+    }
+    if (!IsComparableType(args[i].kind())) {
+      ctx.Cover(2);
+      return TypeError("INTERVAL arguments must be comparable scalars");
+    }
+    SOFT_ASSIGN_OR_RETURN(int cmp, Value::Compare(args[0], args[i]));
+    if (cmp < 0) {
+      break;
+    }
+    index = static_cast<int64_t>(i);
+  }
+  return Value::Int(index);
+}
+
+Result<Value> FnNvl2(FunctionContext& ctx, const ValueList& args) {
+  return args[0].is_null() ? args[2] : args[1];
+}
+
+Result<Value> FnDecode(FunctionContext& ctx, const ValueList& args) {
+  // DECODE(expr, search1, result1, ..., [default]).
+  size_t i = 1;
+  for (; i + 1 < args.size(); i += 2) {
+    if (args[0].is_null() && args[i].is_null()) {
+      ctx.Cover(1);
+      return args[i + 1];
+    }
+    if (args[0].is_null() || args[i].is_null()) {
+      continue;
+    }
+    const Result<int> cmp = Value::Compare(args[0], args[i]);
+    if (cmp.ok() && *cmp == 0) {
+      return args[i + 1];
+    }
+  }
+  if (i < args.size()) {
+    ctx.Cover(2);
+    return args[i];  // default
+  }
+  return Value::Null();
+}
+
+void Reg(FunctionRegistry& r, const char* name, int min_args, int max_args, ScalarFunction fn,
+         const char* doc, const char* example) {
+  FunctionDef def;
+  def.name = name;
+  def.type = FunctionType::kCondition;
+  def.min_args = min_args;
+  def.max_args = max_args;
+  def.null_propagates = false;
+  def.scalar = std::move(fn);
+  def.doc = doc;
+  def.example = example;
+  r.Register(std::move(def));
+}
+
+}  // namespace
+
+void RegisterConditionFunctions(FunctionRegistry& r) {
+  Reg(r, "IFNULL", 2, 2, FnIfnull, "First argument unless NULL", "IFNULL(NULL, 1)");
+  Reg(r, "NVL", 2, 2, FnIfnull, "First argument unless NULL", "NVL(NULL, 1)");
+  Reg(r, "NULLIF", 2, 2, FnNullif, "NULL when arguments are equal", "NULLIF(1, 1)");
+  Reg(r, "COALESCE", 1, -1, FnCoalesce, "First non-NULL argument",
+      "COALESCE(NULL, NULL, 3)");
+  Reg(r, "IF", 3, 3, FnIf, "Conditional choice", "IF(1 < 2, 'y', 'n')");
+  Reg(r, "ISNULL", 1, 1, FnIsnull, "1 when NULL", "ISNULL(NULL)");
+  Reg(r, "GREATEST", 2, -1, FnGreatest, "Largest argument", "GREATEST(1, 2, 3)");
+  Reg(r, "LEAST", 2, -1, FnLeast, "Smallest argument", "LEAST(1, 2, 3)");
+  Reg(r, "INTERVAL", 2, -1, FnInterval, "Slot of N among ordered thresholds",
+      "INTERVAL(5, 1, 10)");
+  Reg(r, "NVL2", 3, 3, FnNvl2, "Choice on NULL-ness", "NVL2(NULL, 'a', 'b')");
+  Reg(r, "DECODE", 3, -1, FnDecode, "Value mapping with default",
+      "DECODE(2, 1, 'a', 2, 'b', 'z')");
+}
+
+}  // namespace soft

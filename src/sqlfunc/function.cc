@@ -1,0 +1,110 @@
+#include "src/sqlfunc/function.h"
+
+#include "src/util/str_util.h"
+
+namespace soft {
+
+std::string_view FunctionTypeName(FunctionType type) {
+  switch (type) {
+    case FunctionType::kString:
+      return "string";
+    case FunctionType::kAggregate:
+      return "aggregate";
+    case FunctionType::kMath:
+      return "math";
+    case FunctionType::kDate:
+      return "date";
+    case FunctionType::kJson:
+      return "json";
+    case FunctionType::kXml:
+      return "xml";
+    case FunctionType::kSpatial:
+      return "spatial";
+    case FunctionType::kSystem:
+      return "system";
+    case FunctionType::kCondition:
+      return "condition";
+    case FunctionType::kCasting:
+      return "casting";
+    case FunctionType::kArray:
+      return "array";
+    case FunctionType::kMap:
+      return "map";
+    case FunctionType::kSequence:
+      return "sequence";
+  }
+  return "unknown";
+}
+
+Result<std::string> FunctionContext::ArgString(const Value& v) const {
+  SOFT_ASSIGN_OR_RETURN(Value s, CoerceValue(v, TypeKind::kString, cast_options_));
+  if (s.is_null()) {
+    return TypeError("NULL where string argument required");
+  }
+  return s.string_value();
+}
+
+Result<int64_t> FunctionContext::ArgInt(const Value& v) const {
+  SOFT_ASSIGN_OR_RETURN(Value i, CoerceValue(v, TypeKind::kInt, cast_options_));
+  if (i.is_null()) {
+    return TypeError("NULL where integer argument required");
+  }
+  return i.int_value();
+}
+
+Result<double> FunctionContext::ArgDouble(const Value& v) const {
+  SOFT_ASSIGN_OR_RETURN(Value d, CoerceValue(v, TypeKind::kDouble, cast_options_));
+  if (d.is_null()) {
+    return TypeError("NULL where double argument required");
+  }
+  return d.double_value();
+}
+
+Result<Decimal> FunctionContext::ArgDecimal(const Value& v) const {
+  SOFT_ASSIGN_OR_RETURN(Value d, CoerceValue(v, TypeKind::kDecimal, cast_options_));
+  if (d.is_null()) {
+    return TypeError("NULL where decimal argument required");
+  }
+  return d.decimal_value();
+}
+
+void FunctionRegistry::Register(FunctionDef def) {
+  def.name = AsciiUpper(def.name);
+  functions_[def.name] = std::move(def);
+}
+
+const FunctionDef* FunctionRegistry::Find(std::string_view name) const {
+  const std::string upper = AsciiUpper(name);
+  const auto it = functions_.find(upper);
+  return it == functions_.end() ? nullptr : &it->second;
+}
+
+std::vector<const FunctionDef*> FunctionRegistry::All() const {
+  std::vector<const FunctionDef*> out;
+  out.reserve(functions_.size());
+  for (const auto& [name, def] : functions_) {
+    out.push_back(&def);
+  }
+  return out;
+}
+
+void FunctionRegistry::Remove(std::string_view name) {
+  functions_.erase(AsciiUpper(name));
+}
+
+void RegisterAllBuiltins(FunctionRegistry& registry) {
+  RegisterStringFunctions(registry);
+  RegisterMathFunctions(registry);
+  RegisterDateFunctions(registry);
+  RegisterJsonFunctions(registry);
+  RegisterXmlFunctions(registry);
+  RegisterSpatialFunctions(registry);
+  RegisterSystemFunctions(registry);
+  RegisterConditionFunctions(registry);
+  RegisterCastingFunctions(registry);
+  RegisterArrayMapFunctions(registry);
+  RegisterSequenceFunctions(registry);
+  RegisterAggregateFunctions(registry);
+}
+
+}  // namespace soft

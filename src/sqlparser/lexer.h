@@ -1,0 +1,44 @@
+// SQL tokenizer.
+//
+// Produces the token stream for the recursive-descent parser. The lexer keeps
+// raw number text (long decimal literals must stay exact — they are Pattern
+// 1.1 boundary values) and understands '' escaping inside string literals,
+// x'AB' hex blobs, and the '::' cast operator.
+#ifndef SRC_SQLPARSER_LEXER_H_
+#define SRC_SQLPARSER_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace soft {
+
+enum class TokenKind {
+  kIdent,    // identifier or keyword (case preserved in text)
+  kNumber,   // numeric literal, raw text
+  kString,   // string literal, unescaped content
+  kBlobHex,  // x'...' literal, decoded bytes
+  kOp,       // operator/punctuation, text holds the symbol
+  kEnd,      // end of input
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  size_t offset = 0;  // byte offset in the source (for error messages)
+
+  bool IsOp(std::string_view symbol) const {
+    return kind == TokenKind::kOp && text == symbol;
+  }
+  // Case-insensitive keyword check.
+  bool IsKeyword(std::string_view keyword) const;
+};
+
+// Tokenizes the whole input. Fails on unterminated strings or stray bytes.
+Result<std::vector<Token>> Tokenize(std::string_view sql);
+
+}  // namespace soft
+
+#endif  // SRC_SQLPARSER_LEXER_H_

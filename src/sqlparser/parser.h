@@ -1,0 +1,35 @@
+// Recursive-descent parser for the engine's SQL subset.
+//
+// Supported statements: SELECT (projection list with aliases, FROM table or
+// derived table, WHERE, GROUP BY, HAVING, ORDER BY, LIMIT, UNION [ALL]),
+// CREATE TABLE, INSERT ... VALUES, DROP TABLE [IF EXISTS].
+//
+// Supported expressions: literals (integers, exact decimals, doubles,
+// strings, hex blobs, NULL, TRUE/FALSE, '*', DATE/TIMESTAMP 'text'),
+// column references, function calls (with aggregate DISTINCT), CAST(x AS T)
+// and PostgreSQL 'x'::T casts, ROW(...), ARRAY[...], scalar subqueries,
+// arithmetic / comparison / boolean operators, || concatenation, IS [NOT]
+// NULL.
+#ifndef SRC_SQLPARSER_PARSER_H_
+#define SRC_SQLPARSER_PARSER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "src/sqlast/ast.h"
+#include "src/util/status.h"
+
+namespace soft {
+
+// Parses a single statement (trailing ';' optional).
+Result<Statement> ParseStatement(std::string_view sql);
+
+// Parses a ';'-separated script.
+Result<std::vector<Statement>> ParseScript(std::string_view sql);
+
+// Parses a standalone expression (used by tests and the pattern engine).
+Result<ExprPtr> ParseExpression(std::string_view sql);
+
+}  // namespace soft
+
+#endif  // SRC_SQLPARSER_PARSER_H_

@@ -1,0 +1,43 @@
+// The cast matrix: conversion between all SQL type kinds.
+//
+// Type casting is one of the paper's three boundary-value sources (23.3% of
+// the studied bugs). The matrix is centralized here so that (a) every dialect
+// routes explicit CAST, '::' casts, and implicit UNION/argument coercions
+// through one audited code path, and (b) the fault engine can hook the
+// cast boundary itself (bugs "of the type system rather than the functions",
+// Section 5.2).
+#ifndef SRC_SQLVALUE_CAST_H_
+#define SRC_SQLVALUE_CAST_H_
+
+#include "src/sqlvalue/value.h"
+
+namespace soft {
+
+struct CastOptions {
+  // Strict mode (PostgreSQL-style): malformed text → error. Lenient mode
+  // (MySQL-style): malformed text converts to a zero-ish value. The paper
+  // attributes PostgreSQL's low bug count to exactly this strictness.
+  bool strict = false;
+  // Depth limit applied when parsing JSON during a cast.
+  int json_depth_limit = 512;
+  // Maximum string length a cast may produce before the engine refuses
+  // (resource-limit guard; exceeding it is a kResourceExhausted, the paper's
+  // false-positive class).
+  size_t max_string_len = 64u << 20;
+};
+
+// Converts `v` to `target`. NULL converts to NULL for every target.
+Result<Value> CastValue(const Value& v, TypeKind target, const CastOptions& options = {});
+
+// Implicit coercion used by UNION column unification and by function argument
+// binding. Slightly more permissive than CastValue in lenient mode and
+// slightly less in strict mode (string → numeric implicit coercion is refused
+// when strict).
+Result<Value> CoerceValue(const Value& v, TypeKind target, const CastOptions& options = {});
+
+// The common supertype two UNION branches unify to, if any.
+Result<TypeKind> CommonSuperType(TypeKind a, TypeKind b);
+
+}  // namespace soft
+
+#endif  // SRC_SQLVALUE_CAST_H_

@@ -1,0 +1,65 @@
+// Calendar dates and timestamps.
+//
+// Date boundaries (year 0/9999, month 0, day 0, leap days) feed the paper's
+// date-function bug class. Internally dates convert to a day number so the
+// arithmetic functions (DATE_ADD, DATEDIFF, ...) are exact.
+#ifndef SRC_SQLVALUE_DATETIME_H_
+#define SRC_SQLVALUE_DATETIME_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/util/status.h"
+
+namespace soft {
+
+struct Date {
+  int32_t year = 1970;   // [0, 9999] accepted from SQL text
+  int32_t month = 1;     // [1, 12]
+  int32_t day = 1;       // [1, days-in-month]
+
+  bool operator==(const Date&) const = default;
+};
+
+struct DateTime {
+  Date date;
+  int32_t hour = 0;
+  int32_t minute = 0;
+  int32_t second = 0;
+
+  bool operator==(const DateTime&) const = default;
+};
+
+// True when the Y/M/D triple denotes a real calendar date in [0, 9999].
+bool IsValidDate(const Date& d);
+
+// Proleptic-Gregorian day number (days since 0000-03-01 based encoding);
+// only meaningful for valid dates.
+int64_t DateToDayNumber(const Date& d);
+Result<Date> DayNumberToDate(int64_t days);
+
+// 'YYYY-MM-DD' (also accepts 'YYYY/MM/DD').
+Result<Date> ParseDate(std::string_view text);
+// 'YYYY-MM-DD[ HH:MM:SS]'.
+Result<DateTime> ParseDateTime(std::string_view text);
+
+std::string FormatDate(const Date& d);
+std::string FormatDateTime(const DateTime& dt);
+
+// Adds days (may be negative). Fails if the result leaves [0, 9999].
+Result<Date> AddDays(const Date& d, int64_t days);
+// Adds months with end-of-month clamping (MySQL semantics).
+Result<Date> AddMonths(const Date& d, int64_t months);
+
+int64_t DateDiffDays(const Date& a, const Date& b);
+
+// 1 = Sunday ... 7 = Saturday (ODBC DAYOFWEEK convention).
+int DayOfWeek(const Date& d);
+int DayOfYear(const Date& d);
+bool IsLeapYear(int32_t year);
+int DaysInMonth(int32_t year, int32_t month);
+
+}  // namespace soft
+
+#endif  // SRC_SQLVALUE_DATETIME_H_

@@ -1,0 +1,98 @@
+// Arbitrary-digit fixed-point decimal.
+//
+// Digit-count boundaries in decimal handling are one of the paper's dominant
+// bug sources (MDEV-8407: decimal2string breaks past 40 digits; the MySQL AVG
+// global buffer overflow with a ~65-digit literal). This class is the engine's
+// internal decimal representation; it stores every significant digit
+// explicitly so the fault corpus can express "digits ≥ N" trigger predicates
+// against real values, not approximations.
+//
+// Representation: value = (negative ? -1 : 1) * digits * 10^-scale where
+// `digits` is a most-significant-first ASCII digit string with no redundant
+// leading zeros (except enough to cover the fractional part).
+#ifndef SRC_SQLVALUE_DECIMAL_H_
+#define SRC_SQLVALUE_DECIMAL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/util/status.h"
+
+namespace soft {
+
+class Decimal {
+ public:
+  // Maximum total significant digits accepted from SQL text. Mirrors MySQL's
+  // 65-digit precision cap; parsing longer literals is still permitted (the
+  // whole point is to exercise past-the-cap behaviour) up to a hard safety
+  // limit, after which FromString reports kResourceExhausted.
+  static constexpr int kMaxPrecision = 65;
+  static constexpr int kHardDigitLimit = 100000;
+
+  Decimal() : negative_(false), digits_("0"), scale_(0) {}
+
+  static Decimal FromInt64(int64_t v);
+  // Converts via the shortest round-trip representation of the double.
+  static Result<Decimal> FromDouble(double v);
+  // Parses [+-]?digits[.digits] (optionally with exponent, e.g. 1e-32).
+  static Result<Decimal> FromString(std::string_view s);
+
+  bool negative() const { return negative_ && !IsZero(); }
+  int scale() const { return scale_; }
+  // Total significant digits (including fractional digits, excluding sign/dot).
+  int total_digits() const { return static_cast<int>(digits_.size()); }
+  int integer_digits() const { return static_cast<int>(digits_.size()) - scale_; }
+  int fraction_digits() const { return scale_; }
+
+  bool IsZero() const;
+
+  // Plain decimal text, e.g. "-12.340". Never scientific notation.
+  std::string ToString() const;
+  // Scientific notation, e.g. "1.234e-2" — what MariaDB's String::set_real
+  // falls back to past 31 digits (the MDEV-23415 trigger shape).
+  std::string ToScientificString() const;
+
+  double ToDouble() const;
+  // Fails with kInvalidArgument when the truncated integer part does not fit
+  // in int64.
+  Result<int64_t> ToInt64() const;
+
+  Decimal Negated() const;
+  // Round (half away from zero) to `new_scale` fractional digits.
+  Decimal Rounded(int new_scale) const;
+
+  static Decimal Add(const Decimal& a, const Decimal& b);
+  static Decimal Sub(const Decimal& a, const Decimal& b);
+  static Decimal Mul(const Decimal& a, const Decimal& b);
+  // Fixed-scale long division; fails on division by zero.
+  static Result<Decimal> Div(const Decimal& a, const Decimal& b, int result_scale = 16);
+
+  // Three-way compare: -1, 0, +1.
+  static int Compare(const Decimal& a, const Decimal& b);
+
+  bool operator==(const Decimal& other) const { return Compare(*this, other) == 0; }
+
+ private:
+  Decimal(bool negative, std::string digits, int scale)
+      : negative_(negative), digits_(std::move(digits)), scale_(scale) {
+    Normalize();
+  }
+
+  // Strips redundant leading zeros and canonicalizes zero.
+  void Normalize();
+
+  // Unsigned digit-string helpers (aligned to a common scale by the callers).
+  static std::string AddMagnitude(const std::string& a, const std::string& b);
+  // Requires |a| >= |b|.
+  static std::string SubMagnitude(const std::string& a, const std::string& b);
+  static int CompareMagnitude(const std::string& a, const std::string& b);
+
+  bool negative_;
+  std::string digits_;
+  int scale_;
+};
+
+}  // namespace soft
+
+#endif  // SRC_SQLVALUE_DECIMAL_H_

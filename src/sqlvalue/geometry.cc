@@ -1,0 +1,172 @@
+#include "src/sqlvalue/geometry.h"
+
+#include <cstring>
+#include <cstdio>
+
+#include "src/util/str_util.h"
+
+namespace soft {
+namespace {
+
+std::string_view KindName(GeometryKind kind) {
+  switch (kind) {
+    case GeometryKind::kPoint:
+      return "POINT";
+    case GeometryKind::kLineString:
+      return "LINESTRING";
+    case GeometryKind::kPolygon:
+      return "POLYGON";
+  }
+  return "GEOMETRY";
+}
+
+void AppendCoord(double v, std::string& out) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string GeometryToWkt(const Geometry& g) {
+  std::string out(KindName(g.kind));
+  out.push_back('(');
+  const bool polygon = g.kind == GeometryKind::kPolygon;
+  if (polygon) {
+    out.push_back('(');
+  }
+  for (size_t i = 0; i < g.points.size(); ++i) {
+    if (i > 0) {
+      out += ", ";
+    }
+    AppendCoord(g.points[i].x, out);
+    out.push_back(' ');
+    AppendCoord(g.points[i].y, out);
+  }
+  if (polygon) {
+    out.push_back(')');
+  }
+  out.push_back(')');
+  return out;
+}
+
+Result<Geometry> ParseWkt(std::string_view text) {
+  const std::string_view trimmed = TrimWhitespace(text);
+  const size_t paren = trimmed.find('(');
+  if (paren == std::string_view::npos) {
+    return InvalidArgument("malformed WKT: missing '('");
+  }
+  const std::string head = AsciiUpper(TrimWhitespace(trimmed.substr(0, paren)));
+  Geometry g;
+  if (head == "POINT") {
+    g.kind = GeometryKind::kPoint;
+  } else if (head == "LINESTRING") {
+    g.kind = GeometryKind::kLineString;
+  } else if (head == "POLYGON") {
+    g.kind = GeometryKind::kPolygon;
+  } else {
+    return InvalidArgument("unsupported WKT geometry type");
+  }
+  std::string body(trimmed.substr(paren));
+  // Strip all parentheses; coordinates remain comma-separated.
+  std::string flat;
+  for (char c : body) {
+    if (c != '(' && c != ')') {
+      flat.push_back(c);
+    }
+  }
+  for (const std::string& pair : Split(flat, ',')) {
+    const std::string_view pv = TrimWhitespace(pair);
+    if (pv.empty()) {
+      continue;
+    }
+    GeoPoint p;
+    char* end = nullptr;
+    const std::string ps(pv);
+    p.x = std::strtod(ps.c_str(), &end);
+    if (end == ps.c_str()) {
+      return InvalidArgument("malformed WKT coordinate");
+    }
+    p.y = std::strtod(end, nullptr);
+    g.points.push_back(p);
+  }
+  if (g.points.empty()) {
+    return InvalidArgument("WKT geometry has no coordinates");
+  }
+  if (g.kind == GeometryKind::kPoint && g.points.size() != 1) {
+    return InvalidArgument("POINT must have exactly one coordinate pair");
+  }
+  if (g.kind == GeometryKind::kLineString && g.points.size() < 2) {
+    return InvalidArgument("LINESTRING needs at least two points");
+  }
+  if (g.kind == GeometryKind::kPolygon && g.points.size() < 4) {
+    return InvalidArgument("POLYGON ring needs at least four points");
+  }
+  return g;
+}
+
+std::string GeometryToBinary(const Geometry& g) {
+  std::string out;
+  out.push_back(static_cast<char>(g.kind));
+  const uint32_t count = static_cast<uint32_t>(g.points.size());
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((count >> (8 * i)) & 0xFF));
+  }
+  for (const GeoPoint& p : g.points) {
+    char buf[16];
+    std::memcpy(buf, &p.x, 8);
+    std::memcpy(buf + 8, &p.y, 8);
+    out.append(buf, 16);
+  }
+  return out;
+}
+
+Result<Geometry> GeometryFromBinary(std::string_view bytes) {
+  if (bytes.size() < 5) {
+    return InvalidArgument("geometry binary too short");
+  }
+  const uint8_t kind_byte = static_cast<uint8_t>(bytes[0]);
+  if (kind_byte < 1 || kind_byte > 3) {
+    return InvalidArgument("unknown geometry kind byte");
+  }
+  uint32_t count = 0;
+  for (int i = 0; i < 4; ++i) {
+    count |= static_cast<uint32_t>(static_cast<uint8_t>(bytes[1 + i])) << (8 * i);
+  }
+  if (bytes.size() != 5 + static_cast<size_t>(count) * 16) {
+    return InvalidArgument("geometry binary length mismatch");
+  }
+  Geometry g;
+  g.kind = static_cast<GeometryKind>(kind_byte);
+  g.points.resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    std::memcpy(&g.points[i].x, bytes.data() + 5 + i * 16, 8);
+    std::memcpy(&g.points[i].y, bytes.data() + 5 + i * 16 + 8, 8);
+  }
+  if (g.kind == GeometryKind::kPoint && g.points.size() != 1) {
+    return InvalidArgument("corrupt POINT geometry");
+  }
+  return g;
+}
+
+Result<Geometry> GeometryBoundary(const Geometry& g) {
+  switch (g.kind) {
+    case GeometryKind::kPoint:
+      return InvalidArgument("a POINT has an empty boundary");
+    case GeometryKind::kLineString: {
+      Geometry out;
+      out.kind = GeometryKind::kLineString;
+      out.points = {g.points.front(), g.points.back()};
+      return out;
+    }
+    case GeometryKind::kPolygon: {
+      Geometry out;
+      out.kind = GeometryKind::kLineString;
+      out.points = g.points;
+      return out;
+    }
+  }
+  return InvalidArgument("unknown geometry kind");
+}
+
+}  // namespace soft

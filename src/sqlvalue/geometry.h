@@ -1,0 +1,56 @@
+// Minimal spatial type: points, linestrings, polygons.
+//
+// Supports the paper's spatial bug chain (ST_ASTEXT(BOUNDARY(...)) on a blob
+// produced by INET6_ATON). Geometries serialize to a simple WKB-like binary
+// layout, so arbitrary blobs can be *interpreted* as geometry — exactly the
+// confusion the MariaDB Case 6 bug exploits.
+#ifndef SRC_SQLVALUE_GEOMETRY_H_
+#define SRC_SQLVALUE_GEOMETRY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace soft {
+
+enum class GeometryKind : uint8_t { kPoint = 1, kLineString = 2, kPolygon = 3 };
+
+struct GeoPoint {
+  double x = 0;
+  double y = 0;
+  bool operator==(const GeoPoint&) const = default;
+};
+
+struct Geometry {
+  GeometryKind kind = GeometryKind::kPoint;
+  // kPoint: points.size() == 1. kLineString: >= 2. kPolygon: ring, first point
+  // repeated last.
+  std::vector<GeoPoint> points;
+
+  bool operator==(const Geometry&) const = default;
+};
+
+// Well-known-text rendering, e.g. "POINT(1 2)".
+std::string GeometryToWkt(const Geometry& g);
+
+// Parses the WKT subset emitted by GeometryToWkt.
+Result<Geometry> ParseWkt(std::string_view text);
+
+// Binary layout: [kind:u8][count:u32 LE][count * (f64 x, f64 y)].
+std::string GeometryToBinary(const Geometry& g);
+
+// Decodes the binary layout; rejects truncated or inconsistent buffers. A
+// 4- or 16-byte inet blob is *not* valid geometry — dialects that skip this
+// check are where the injected Case-6 bug lives.
+Result<Geometry> GeometryFromBinary(std::string_view bytes);
+
+// Topological boundary: linestring → its two endpoints (multipoint rendered
+// as a linestring here), polygon → its ring; point → empty geometry error.
+Result<Geometry> GeometryBoundary(const Geometry& g);
+
+}  // namespace soft
+
+#endif  // SRC_SQLVALUE_GEOMETRY_H_

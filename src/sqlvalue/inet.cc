@@ -1,0 +1,144 @@
+#include "src/sqlvalue/inet.h"
+
+#include <charconv>
+#include <cstdio>
+#include <vector>
+
+#include "src/util/str_util.h"
+
+namespace soft {
+namespace {
+
+Result<InetAddr> ParseV4(std::string_view text) {
+  const std::vector<std::string> parts = Split(text, '.');
+  if (parts.size() != 4) {
+    return InvalidArgument("malformed IPv4 address");
+  }
+  InetAddr out;
+  out.is_v4 = true;
+  out.bytes[10] = 0xFF;
+  out.bytes[11] = 0xFF;
+  for (size_t i = 0; i < 4; ++i) {
+    unsigned v = 0;
+    const std::string& p = parts[i];
+    if (p.empty() || p.size() > 3) {
+      return InvalidArgument("malformed IPv4 octet");
+    }
+    auto [ptr, ec] = std::from_chars(p.data(), p.data() + p.size(), v);
+    if (ec != std::errc() || ptr != p.data() + p.size() || v > 255) {
+      return InvalidArgument("malformed IPv4 octet");
+    }
+    out.bytes[12 + i] = static_cast<uint8_t>(v);
+  }
+  return out;
+}
+
+Result<InetAddr> ParseV6(std::string_view text) {
+  // Split on "::" once; each side is a list of 16-bit groups.
+  std::vector<uint16_t> head;
+  std::vector<uint16_t> tail;
+  bool has_gap = false;
+
+  auto parse_groups = [](std::string_view chunk,
+                         std::vector<uint16_t>& out) -> Status {
+    if (chunk.empty()) {
+      return OkStatus();
+    }
+    for (const std::string& g : Split(chunk, ':')) {
+      if (g.empty() || g.size() > 4) {
+        return InvalidArgument("malformed IPv6 group");
+      }
+      unsigned v = 0;
+      auto [p, ec] = std::from_chars(g.data(), g.data() + g.size(), v, 16);
+      if (ec != std::errc() || p != g.data() + g.size()) {
+        return InvalidArgument("malformed IPv6 group");
+      }
+      out.push_back(static_cast<uint16_t>(v));
+    }
+    return OkStatus();
+  };
+
+  const size_t gap = text.find("::");
+  if (gap != std::string_view::npos) {
+    has_gap = true;
+    SOFT_RETURN_IF_ERROR(parse_groups(text.substr(0, gap), head));
+    SOFT_RETURN_IF_ERROR(parse_groups(text.substr(gap + 2), tail));
+  } else {
+    SOFT_RETURN_IF_ERROR(parse_groups(text, head));
+  }
+
+  const size_t total = head.size() + tail.size();
+  if ((has_gap && total >= 8) || (!has_gap && total != 8)) {
+    return InvalidArgument("wrong number of IPv6 groups");
+  }
+
+  InetAddr out;
+  size_t idx = 0;
+  for (uint16_t g : head) {
+    out.bytes[idx++] = static_cast<uint8_t>(g >> 8);
+    out.bytes[idx++] = static_cast<uint8_t>(g & 0xFF);
+  }
+  idx = 16 - tail.size() * 2;
+  for (uint16_t g : tail) {
+    out.bytes[idx++] = static_cast<uint8_t>(g >> 8);
+    out.bytes[idx++] = static_cast<uint8_t>(g & 0xFF);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<InetAddr> ParseInet(std::string_view text) {
+  if (text.find(':') != std::string_view::npos) {
+    return ParseV6(text);
+  }
+  return ParseV4(text);
+}
+
+std::string FormatInet(const InetAddr& addr) {
+  char buf[64];
+  if (addr.is_v4) {
+    std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", addr.bytes[12], addr.bytes[13],
+                  addr.bytes[14], addr.bytes[15]);
+    return buf;
+  }
+  std::string out;
+  for (int i = 0; i < 8; ++i) {
+    const unsigned g = (static_cast<unsigned>(addr.bytes[i * 2]) << 8) | addr.bytes[i * 2 + 1];
+    std::snprintf(buf, sizeof(buf), "%x", g);
+    if (i > 0) {
+      out.push_back(':');
+    }
+    out += buf;
+  }
+  return out;
+}
+
+std::string InetToBinary(const InetAddr& addr) {
+  if (addr.is_v4) {
+    return std::string(reinterpret_cast<const char*>(addr.bytes.data()) + 12, 4);
+  }
+  return std::string(reinterpret_cast<const char*>(addr.bytes.data()), 16);
+}
+
+Result<InetAddr> InetFromBinary(std::string_view bytes) {
+  InetAddr out;
+  if (bytes.size() == 4) {
+    out.is_v4 = true;
+    out.bytes[10] = 0xFF;
+    out.bytes[11] = 0xFF;
+    for (size_t i = 0; i < 4; ++i) {
+      out.bytes[12 + i] = static_cast<uint8_t>(bytes[i]);
+    }
+    return out;
+  }
+  if (bytes.size() == 16) {
+    for (size_t i = 0; i < 16; ++i) {
+      out.bytes[i] = static_cast<uint8_t>(bytes[i]);
+    }
+    return out;
+  }
+  return InvalidArgument("inet binary form must be 4 or 16 bytes");
+}
+
+}  // namespace soft

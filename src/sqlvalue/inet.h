@@ -1,0 +1,38 @@
+// IPv4 / IPv6 address values.
+//
+// INET6_ATON('255.255.255.255') producing a binary blob that is then fed to a
+// spatial function is the exact chain of MariaDB Case 6 in the paper; the
+// engine therefore needs a real inet codec whose binary form can flow into
+// blob-typed arguments.
+#ifndef SRC_SQLVALUE_INET_H_
+#define SRC_SQLVALUE_INET_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/util/status.h"
+
+namespace soft {
+
+struct InetAddr {
+  // IPv4 addresses are stored IPv4-mapped (::ffff:a.b.c.d) with is_v4 = true.
+  std::array<uint8_t, 16> bytes{};
+  bool is_v4 = false;
+
+  bool operator==(const InetAddr&) const = default;
+};
+
+// Parses dotted-quad IPv4 or colon-hex IPv6 (with '::' compression).
+Result<InetAddr> ParseInet(std::string_view text);
+
+std::string FormatInet(const InetAddr& addr);
+
+// Binary form as used by INET6_ATON: 4 bytes for v4, 16 bytes for v6.
+std::string InetToBinary(const InetAddr& addr);
+Result<InetAddr> InetFromBinary(std::string_view bytes);
+
+}  // namespace soft
+
+#endif  // SRC_SQLVALUE_INET_H_

@@ -1,0 +1,79 @@
+// Minimal JSON document model with explicit nesting-depth accounting.
+//
+// JSON nesting depth is a first-class boundary in the paper (CVE-2015-5289:
+// REPEAT('[', 1000)::json overflows PostgreSQL's recursive array parser; the
+// DuckDB REPEAT('[{"a":', 100000) UNION stack overflow). The parser here is
+// iterative-depth-checked: it records the maximum nesting depth it reached and
+// fails with kResourceExhausted past a configurable limit, so dialects can
+// model both "checked" and "unchecked" recursion behaviour.
+#ifndef SRC_SQLVALUE_JSON_H_
+#define SRC_SQLVALUE_JSON_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace soft {
+
+class JsonValue;
+using JsonPtr = std::shared_ptr<const JsonValue>;
+
+enum class JsonKind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+class JsonValue {
+ public:
+  using Array = std::vector<JsonPtr>;
+  using Object = std::vector<std::pair<std::string, JsonPtr>>;
+
+  static JsonPtr MakeNull();
+  static JsonPtr MakeBool(bool b);
+  static JsonPtr MakeNumber(double n);
+  static JsonPtr MakeString(std::string s);
+  static JsonPtr MakeArray(Array items);
+  static JsonPtr MakeObject(Object members);
+
+  JsonKind kind() const { return kind_; }
+  bool bool_value() const { return std::get<bool>(data_); }
+  double number_value() const { return std::get<double>(data_); }
+  const std::string& string_value() const { return std::get<std::string>(data_); }
+  const Array& array_items() const { return std::get<Array>(data_); }
+  const Object& object_members() const { return std::get<Object>(data_); }
+
+  // Maximum nesting depth of this subtree (scalar = 1).
+  int Depth() const;
+
+  // Serializes to compact JSON text.
+  std::string Serialize() const;
+
+ private:
+  friend class JsonParser;
+  JsonKind kind_ = JsonKind::kNull;
+  std::variant<std::monostate, bool, double, std::string, Array, Object> data_;
+};
+
+struct JsonParseResult {
+  JsonPtr value;
+  int max_depth = 0;  // deepest nesting encountered while parsing
+};
+
+// Parses JSON text. `max_depth` bounds recursion; exceeding it yields
+// kResourceExhausted (the patched-DBMS behaviour for CVE-2015-5289).
+Result<JsonParseResult> ParseJson(std::string_view text, int max_depth = 512);
+
+// Counts the nesting depth a parse *would* reach without building the tree —
+// cheap structural probe used by fault predicates on syntactically invalid
+// inputs too (counts unmatched opening brackets).
+int ProbeJsonNestingDepth(std::string_view text);
+
+// Evaluates a subset of JSON path expressions: $, .key, [index]. Returns
+// nullptr JsonPtr when the path does not resolve.
+Result<JsonPtr> EvalJsonPath(const JsonPtr& root, std::string_view path);
+
+}  // namespace soft
+
+#endif  // SRC_SQLVALUE_JSON_H_

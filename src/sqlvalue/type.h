@@ -1,0 +1,59 @@
+// SQL type kinds supported by the simulated engine.
+//
+// The set is the union of types exercised by the paper's bug corpus: numeric
+// types (including arbitrary-digit DECIMAL, the source of many digit-count
+// boundary bugs), strings/blobs, dates, JSON, arrays/rows (MDEV-14596-style
+// comparability bugs), INET6 blobs and geometry (the MariaDB spatial chain),
+// plus the special STAR argument ('*') that crashed Virtuoso's CONTAINS.
+#ifndef SRC_SQLVALUE_TYPE_H_
+#define SRC_SQLVALUE_TYPE_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/util/status.h"
+
+namespace soft {
+
+enum class TypeKind {
+  kNull = 0,
+  kBool,
+  kInt,       // 64-bit signed integer.
+  kDouble,    // IEEE double.
+  kDecimal,   // arbitrary-digit fixed-point (src/sqlvalue/decimal.h).
+  kString,    // variable-length character string.
+  kBlob,      // raw byte string.
+  kDate,      // calendar date.
+  kDateTime,  // date + time-of-day.
+  kJson,      // parsed JSON document.
+  kArray,     // ordered collection of values.
+  kRow,       // anonymous record, e.g. ROW(1, 2).
+  kMap,       // key/value pairs (DuckDB-style MAP).
+  kInet,      // IPv4/IPv6 address (16-byte binary form).
+  kGeometry,  // spatial value (point / linestring / polygon).
+  kStar,      // the literal '*' argument.
+};
+
+constexpr int kNumTypeKinds = static_cast<int>(TypeKind::kStar) + 1;
+
+// Canonical display name, e.g. "DECIMAL".
+std::string_view TypeKindName(TypeKind kind);
+
+// Parses a SQL type name as written in CAST(x AS <name>). Accepts common
+// aliases across the seven dialects (INTEGER/BIGINT/SIGNED → INT, VARCHAR/
+// TEXT/CHAR → STRING, REAL/FLOAT → DOUBLE, NUMERIC → DECIMAL, ...).
+// Parenthesized parameters such as DECIMAL(10,2) or VARCHAR(255) are accepted
+// and the parameters returned via the optional out-arguments.
+std::optional<TypeKind> ParseTypeName(std::string_view name);
+
+// True for INT / DOUBLE / DECIMAL.
+bool IsNumericType(TypeKind kind);
+
+// True for types with a natural total order usable by comparison operators.
+// ROW and MAP are deliberately not comparable (the MDEV-14596 bug class).
+bool IsComparableType(TypeKind kind);
+
+}  // namespace soft
+
+#endif  // SRC_SQLVALUE_TYPE_H_

@@ -1,0 +1,53 @@
+// Deterministic PRNG used by all fuzzers (SOFT and the baselines).
+//
+// Campaign reproducibility matters: every comparative experiment in the paper
+// is rerun here with fixed seeds, so the generators must be deterministic and
+// not depend on libstdc++'s unspecified distributions. We use xoshiro256**
+// plus explicit bounded-draw helpers.
+#ifndef SRC_UTIL_RNG_H_
+#define SRC_UTIL_RNG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace soft {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  // Raw 64-bit draw.
+  uint64_t Next();
+
+  // Uniform integer in [0, bound). bound must be > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Bernoulli draw with probability p.
+  bool NextBool(double p = 0.5);
+
+  // Uniform choice from a non-empty vector.
+  template <typename T>
+  const T& Choose(const std::vector<T>& items) {
+    return items[NextBelow(items.size())];
+  }
+
+  // Random ASCII string of the given length from a printable alphabet.
+  std::string NextString(size_t length);
+
+  // Random identifier-looking token (letters + digits, starts with a letter).
+  std::string NextIdentifier(size_t length);
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace soft
+
+#endif  // SRC_UTIL_RNG_H_

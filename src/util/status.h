@@ -1,0 +1,149 @@
+// Status / Result<T> error handling for the SOFT reproduction.
+//
+// The core library does not use exceptions: every fallible operation returns
+// either a Status or a Result<T>. Simulated DBMS crashes (injected faults)
+// travel through the same channel, tagged with StatusCode::kCrash so the
+// execution harness can distinguish "query raised an SQL error" from
+// "query crashed the server".
+#ifndef SRC_UTIL_STATUS_H_
+#define SRC_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace soft {
+
+// Broad classification of failures. kCrash is special: it models a
+// memory-safety fault in the simulated DBMS (see src/fault).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // SQL error: bad argument value/type for a function.
+  kParseError,        // statement failed to parse.
+  kTypeError,         // cast / type resolution failure.
+  kNotFound,          // unknown function, table, or column.
+  kUnsupported,       // feature not available in this dialect.
+  kResourceExhausted, // engine-enforced memory/length limit (false-positive source).
+  kInternal,          // harness bug, not a DBMS behaviour.
+  kCrash,             // simulated memory-safety crash (carries crash metadata).
+};
+
+std::string_view StatusCodeName(StatusCode code);
+
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // True when the failure models a simulated DBMS crash.
+  bool is_crash() const { return code_ == StatusCode::kCrash; }
+
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status::Ok(); }
+inline Status InvalidArgument(std::string msg) {
+  return Status(StatusCode::kInvalidArgument, std::move(msg));
+}
+inline Status ParseError(std::string msg) {
+  return Status(StatusCode::kParseError, std::move(msg));
+}
+inline Status TypeError(std::string msg) {
+  return Status(StatusCode::kTypeError, std::move(msg));
+}
+inline Status NotFound(std::string msg) {
+  return Status(StatusCode::kNotFound, std::move(msg));
+}
+inline Status Unsupported(std::string msg) {
+  return Status(StatusCode::kUnsupported, std::move(msg));
+}
+inline Status ResourceExhausted(std::string msg) {
+  return Status(StatusCode::kResourceExhausted, std::move(msg));
+}
+inline Status Internal(std::string msg) {
+  return Status(StatusCode::kInternal, std::move(msg));
+}
+inline Status CrashStatus(std::string msg) {
+  return Status(StatusCode::kCrash, std::move(msg));
+}
+
+// Result<T>: value or Status. Minimal StatusOr-style wrapper.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : var_(std::move(value)) {}       // NOLINT(google-explicit-constructor)
+  Result(Status status) : var_(std::move(status)) { // NOLINT(google-explicit-constructor)
+    assert(!std::get<Status>(var_).ok() && "Result<T> must not hold an OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(var_); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(var_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(var_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(var_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  Status status() const {
+    if (ok()) {
+      return Status::Ok();
+    }
+    return std::get<Status>(var_);
+  }
+
+ private:
+  std::variant<T, Status> var_;
+};
+
+// Propagate errors out of the enclosing function.
+#define SOFT_RETURN_IF_ERROR(expr)          \
+  do {                                      \
+    ::soft::Status _soft_status = (expr);   \
+    if (!_soft_status.ok()) {               \
+      return _soft_status;                  \
+    }                                       \
+  } while (false)
+
+#define SOFT_ASSIGN_OR_RETURN_IMPL(var, lhs, rexpr) \
+  auto var = (rexpr);                               \
+  if (!var.ok()) {                                  \
+    return var.status();                            \
+  }                                                 \
+  lhs = std::move(var).value()
+
+#define SOFT_CONCAT_INNER(a, b) a##b
+#define SOFT_CONCAT(a, b) SOFT_CONCAT_INNER(a, b)
+
+// Usage: SOFT_ASSIGN_OR_RETURN(Value v, EvalExpr(e));
+#define SOFT_ASSIGN_OR_RETURN(lhs, rexpr) \
+  SOFT_ASSIGN_OR_RETURN_IMPL(SOFT_CONCAT(_soft_result_, __LINE__), lhs, rexpr)
+
+}  // namespace soft
+
+#endif  // SRC_UTIL_STATUS_H_

@@ -1,0 +1,41 @@
+// Small string helpers shared across the library.
+#ifndef SRC_UTIL_STR_UTIL_H_
+#define SRC_UTIL_STR_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace soft {
+
+// ASCII-only case transforms (SQL identifiers / keywords are ASCII).
+std::string AsciiLower(std::string_view s);
+std::string AsciiUpper(std::string_view s);
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+// Split on a single character; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+// Join with a separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+// Trim ASCII whitespace from both ends.
+std::string_view TrimWhitespace(std::string_view s);
+
+// Replace all occurrences of `from` (non-empty) with `to`.
+std::string ReplaceAll(std::string_view s, std::string_view from, std::string_view to);
+
+// Escape a string for embedding in a single-quoted SQL literal ('' doubling).
+std::string SqlQuote(std::string_view s);
+
+// Number of decimal digits in the textual representation of a non-negative
+// integer (0 has one digit).
+int DecimalDigitCount(uint64_t v);
+
+}  // namespace soft
+
+#endif  // SRC_UTIL_STR_UTIL_H_

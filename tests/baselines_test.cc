@@ -1,0 +1,110 @@
+// Baseline fuzzer tests and the comparative claims of Section 7.5: under
+// identical budgets the baselines find (essentially) no SQL function bugs
+// while SOFT finds many, and SOFT covers more functions and branches.
+#include <gtest/gtest.h>
+
+#include "src/baselines/comparison.h"
+#include "src/dialects/dialects.h"
+
+namespace soft {
+namespace {
+
+constexpr int kBudget = 10000;
+
+CampaignResult RunTool(Fuzzer& tool, const std::string& dialect, int budget = kBudget) {
+  auto db = MakeDialect(dialect);
+  CampaignOptions options;
+  options.seed = 3;
+  options.max_statements = budget;
+  return tool.Run(*db, options);
+}
+
+TEST(Baselines, RandSmithExecutesAndTriggersManyFunctions) {
+  RandSmith tool;
+  const CampaignResult r = RunTool(tool, "mariadb");
+  EXPECT_EQ(r.statements_executed, kBudget);
+  // SQLsmith-style catalog sweep touches most of the catalog.
+  EXPECT_GT(r.functions_triggered, 60u);
+  EXPECT_GT(r.branches_covered, r.functions_triggered);
+}
+
+TEST(Baselines, PqsGenStaysInItsModeledPool) {
+  PqsGen tool;
+  const CampaignResult r = RunTool(tool, "mariadb");
+  EXPECT_EQ(r.statements_executed, kBudget);
+  // SQLancer models few functions; triggered count stays small.
+  EXPECT_LT(r.functions_triggered, 40u);
+  EXPECT_GT(r.functions_triggered, 5u);
+}
+
+TEST(Baselines, MutSquirrelMutatesSeeds) {
+  MutSquirrel tool;
+  const CampaignResult r = RunTool(tool, "mariadb");
+  EXPECT_EQ(r.statements_executed, kBudget);
+  EXPECT_GT(r.functions_triggered, 20u);
+}
+
+class BaselineBugClaimTest : public testing::TestWithParam<std::string> {};
+
+TEST_P(BaselineBugClaimTest, BaselinesFindAlmostNoBugs) {
+  // Section 7.5: SQUIRREL, SQLancer, SQLsmith found no SQL function bugs in
+  // 24 hours. Allow a tiny tolerance (<= 1) for the simulated reproduction.
+  for (const std::unique_ptr<Fuzzer>& tool : MakeAllTools()) {
+    if (tool->name() == "SOFT") {
+      continue;
+    }
+    const CampaignResult r = RunTool(*tool, GetParam());
+    EXPECT_LE(r.unique_bugs.size(), 1u)
+        << tool->name() << " on " << GetParam() << " found "
+        << r.unique_bugs.size() << " bugs; first: "
+        << (r.unique_bugs.empty() ? "" : r.unique_bugs[0].poc_sql);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDialects, BaselineBugClaimTest,
+                         testing::ValuesIn(AllDialectNames()),
+                         [](const testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+TEST(Comparison, SoftDominatesOnMariadb) {
+  const std::vector<ToolRun> runs = RunAllTools("mariadb", kBudget, 5);
+  const ToolRun* soft_run = nullptr;
+  for (const ToolRun& run : runs) {
+    if (run.tool == "SOFT") {
+      soft_run = &run;
+    }
+  }
+  ASSERT_NE(soft_run, nullptr);
+  EXPECT_GE(soft_run->result.unique_bugs.size(), 10u);
+  for (const ToolRun& run : runs) {
+    if (run.tool == "SOFT") {
+      continue;
+    }
+    EXPECT_GT(soft_run->result.unique_bugs.size(), run.result.unique_bugs.size())
+        << run.tool;
+    // Function counts can saturate the catalog at small budgets (both SOFT
+    // and the catalog-sweeping SQLsmith* reach nearly every function), so
+    // allow ties there; branch coverage — the boundary-argument depth — must
+    // be strictly higher.
+    EXPECT_GE(soft_run->result.functions_triggered, run.result.functions_triggered)
+        << run.tool;
+    EXPECT_GT(soft_run->result.branches_covered, run.result.branches_covered)
+        << run.tool;
+  }
+}
+
+TEST(Comparison, SupportMatrixMatchesTable5) {
+  EXPECT_TRUE(ToolSupportsDialect("SQUIRREL*", "mysql"));
+  EXPECT_FALSE(ToolSupportsDialect("SQUIRREL*", "clickhouse"));
+  EXPECT_TRUE(ToolSupportsDialect("SQLancer*", "clickhouse"));
+  EXPECT_FALSE(ToolSupportsDialect("SQLancer*", "monetdb"));
+  EXPECT_TRUE(ToolSupportsDialect("SQLsmith*", "monetdb"));
+  EXPECT_FALSE(ToolSupportsDialect("SQLsmith*", "mysql"));
+  for (const std::string& dialect : AllDialectNames()) {
+    EXPECT_TRUE(ToolSupportsDialect("SOFT", dialect));
+  }
+}
+
+}  // namespace
+}  // namespace soft

@@ -1,0 +1,238 @@
+// End-to-end sanity for the SQL engine: the statement pipeline, literals,
+// operators, tables, and result sets.
+#include <gtest/gtest.h>
+
+#include "src/engine/database.h"
+
+namespace soft {
+namespace {
+
+// Executes one statement and expects a single scalar result rendered as text.
+std::string Scalar(Database& db, const std::string& sql) {
+  StatementResult r = db.Execute(sql);
+  EXPECT_TRUE(r.ok()) << sql << " -> " << r.status.ToString();
+  if (!r.ok() || r.rows.empty() || r.rows[0].empty()) {
+    return "<error: " + r.status.ToString() + ">";
+  }
+  return r.rows[0][0].ToDisplayString();
+}
+
+TEST(EngineBasic, SelectIntegerLiteral) {
+  Database db;
+  EXPECT_EQ(Scalar(db, "SELECT 42"), "42");
+}
+
+TEST(EngineBasic, SelectArithmetic) {
+  Database db;
+  EXPECT_EQ(Scalar(db, "SELECT 1 + 2 * 3"), "7");
+  EXPECT_EQ(Scalar(db, "SELECT (1 + 2) * 3"), "9");
+  // Division produces a fixed-scale exact decimal (cf. MySQL's div scale).
+  EXPECT_EQ(Scalar(db, "SELECT 10 / 4"), "2.50000000");
+  EXPECT_EQ(Scalar(db, "SELECT 7 % 3"), "1");
+}
+
+TEST(EngineBasic, SelectStringLiteralAndConcat) {
+  Database db;
+  EXPECT_EQ(Scalar(db, "SELECT 'it''s'"), "it's");
+  EXPECT_EQ(Scalar(db, "SELECT 'a' || 'b'"), "ab");
+}
+
+TEST(EngineBasic, DecimalLiteralKeepsDigits) {
+  Database db;
+  EXPECT_EQ(Scalar(db, "SELECT 1.50"), "1.50");
+  // 25-digit integer literal survives as exact decimal.
+  EXPECT_EQ(Scalar(db, "SELECT 1234567890123456789012345"), "1234567890123456789012345");
+}
+
+TEST(EngineBasic, NullPropagationInOperators) {
+  Database db;
+  EXPECT_EQ(Scalar(db, "SELECT NULL + 1"), "NULL");
+  EXPECT_EQ(Scalar(db, "SELECT NULL = NULL"), "NULL");
+  EXPECT_EQ(Scalar(db, "SELECT NULL IS NULL"), "TRUE");
+}
+
+TEST(EngineBasic, FunctionCallDispatch) {
+  Database db;
+  EXPECT_EQ(Scalar(db, "SELECT UPPER('abc')"), "ABC");
+  EXPECT_EQ(Scalar(db, "SELECT LENGTH('hello')"), "5");
+  EXPECT_EQ(Scalar(db, "SELECT REPEAT('ab', 3)"), "ababab");
+}
+
+TEST(EngineBasic, UnknownFunctionIsAnError) {
+  Database db;
+  const StatementResult r = db.Execute("SELECT NO_SUCH_FUNC(1)");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status.code(), StatusCode::kNotFound);
+  EXPECT_FALSE(r.crashed());
+}
+
+TEST(EngineBasic, CastSyntaxBothForms) {
+  Database db;
+  EXPECT_EQ(Scalar(db, "SELECT CAST('12' AS INT)"), "12");
+  EXPECT_EQ(Scalar(db, "SELECT '12'::INT"), "12");
+  EXPECT_EQ(Scalar(db, "SELECT CAST(1 AS BOOL)"), "TRUE");
+}
+
+TEST(EngineBasic, CreateInsertSelect) {
+  Database db;
+  EXPECT_TRUE(db.Execute("CREATE TABLE t (a INT, b STRING)").ok());
+  EXPECT_TRUE(db.Execute("INSERT INTO t VALUES (1, 'x'), (2, 'y')").ok());
+  StatementResult r = db.Execute("SELECT b FROM t WHERE a = 2");
+  ASSERT_TRUE(r.ok()) << r.status.ToString();
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].ToDisplayString(), "y");
+}
+
+TEST(EngineBasic, SelectStarExpansion) {
+  Database db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (a INT, b INT)").ok());
+  ASSERT_TRUE(db.Execute("INSERT INTO t VALUES (1, 2)").ok());
+  StatementResult r = db.Execute("SELECT * FROM t");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.columns.size(), 2u);
+  EXPECT_EQ(r.columns[0], "a");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][1].int_value(), 2);
+}
+
+TEST(EngineBasic, AggregatesOverTable) {
+  Database db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (a INT)").ok());
+  ASSERT_TRUE(db.Execute("INSERT INTO t VALUES (1), (2), (3), (NULL)").ok());
+  EXPECT_EQ(Scalar(db, "SELECT COUNT(*) FROM t"), "4");
+  EXPECT_EQ(Scalar(db, "SELECT COUNT(a) FROM t"), "3");
+  EXPECT_EQ(Scalar(db, "SELECT SUM(a) FROM t"), "6");
+  EXPECT_EQ(Scalar(db, "SELECT AVG(a) FROM t"), "2.00000000");
+  EXPECT_EQ(Scalar(db, "SELECT MIN(a) FROM t"), "1");
+  EXPECT_EQ(Scalar(db, "SELECT MAX(a) FROM t"), "3");
+}
+
+TEST(EngineBasic, GroupByAndHaving) {
+  Database db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (g STRING, v INT)").ok());
+  ASSERT_TRUE(
+      db.Execute("INSERT INTO t VALUES ('a', 1), ('a', 2), ('b', 10)").ok());
+  StatementResult r =
+      db.Execute("SELECT g, SUM(v) FROM t GROUP BY g HAVING SUM(v) > 2 ORDER BY g");
+  ASSERT_TRUE(r.ok()) << r.status.ToString();
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].ToDisplayString(), "a");
+  EXPECT_EQ(r.rows[0][1].ToDisplayString(), "3");
+  EXPECT_EQ(r.rows[1][0].ToDisplayString(), "b");
+}
+
+TEST(EngineBasic, AggregateWithoutFrom) {
+  Database db;
+  EXPECT_EQ(Scalar(db, "SELECT COUNT(*)"), "1");
+  EXPECT_EQ(Scalar(db, "SELECT SUM(5)"), "5");
+}
+
+TEST(EngineBasic, UnionDedupAndAll) {
+  Database db;
+  StatementResult r = db.Execute("SELECT 1 UNION SELECT 1");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.rows.size(), 1u);
+  r = db.Execute("SELECT 1 UNION ALL SELECT 1");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.rows.size(), 2u);
+}
+
+TEST(EngineBasic, UnionImplicitCastUnifiesTypes) {
+  Database db;
+  StatementResult r = db.Execute("SELECT 1 UNION SELECT 'a'");
+  ASSERT_TRUE(r.ok()) << r.status.ToString();
+  // Both rows become strings under the common supertype.
+  EXPECT_EQ(r.rows.size(), 2u);
+  for (const auto& row : r.rows) {
+    EXPECT_EQ(row[0].kind(), TypeKind::kString);
+  }
+}
+
+TEST(EngineBasic, ScalarSubquery) {
+  Database db;
+  EXPECT_EQ(Scalar(db, "SELECT (SELECT 7) + 1"), "8");
+}
+
+TEST(EngineBasic, DerivedTable) {
+  Database db;
+  StatementResult r = db.Execute("SELECT x FROM (SELECT 3 AS x) sub");
+  ASSERT_TRUE(r.ok()) << r.status.ToString();
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].ToDisplayString(), "3");
+}
+
+TEST(EngineBasic, OrderByLimitDistinct) {
+  Database db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (a INT)").ok());
+  ASSERT_TRUE(db.Execute("INSERT INTO t VALUES (3), (1), (2), (1)").ok());
+  StatementResult r = db.Execute("SELECT DISTINCT a FROM t ORDER BY a DESC LIMIT 2");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].int_value(), 3);
+  EXPECT_EQ(r.rows[1][0].int_value(), 2);
+}
+
+TEST(EngineBasic, DropTable) {
+  Database db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (a INT)").ok());
+  EXPECT_TRUE(db.Execute("DROP TABLE t").ok());
+  EXPECT_FALSE(db.Execute("SELECT * FROM t").ok());
+  EXPECT_TRUE(db.Execute("DROP TABLE IF EXISTS t").ok());
+}
+
+TEST(EngineBasic, ScriptExecution) {
+  Database db;
+  const auto results = db.ExecuteScript(
+      "CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT a FROM t");
+  ASSERT_EQ(results.size(), 3u);
+  for (const auto& r : results) {
+    EXPECT_TRUE(r.ok()) << r.status.ToString();
+  }
+  EXPECT_EQ(results[2].rows.size(), 1u);
+}
+
+TEST(EngineBasic, ParseErrorSurfacesAtParseStage) {
+  Database db;
+  const StatementResult r = db.Execute("SELEC 1");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.stage, Stage::kParse);
+  EXPECT_EQ(r.status.code(), StatusCode::kParseError);
+}
+
+TEST(EngineBasic, ResourceLimitIsNotACrash) {
+  Database db;
+  const StatementResult r = db.Execute("SELECT REPEAT('a', 9999999999)");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status.code(), StatusCode::kResourceExhausted);
+  EXPECT_FALSE(r.crashed());
+}
+
+TEST(EngineBasic, StarArgumentRejectedByDefault) {
+  Database db;
+  const StatementResult r = db.Execute("SELECT LENGTH(*)");
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(r.crashed());
+}
+
+TEST(EngineBasic, CountDistinct) {
+  Database db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (a INT)").ok());
+  ASSERT_TRUE(db.Execute("INSERT INTO t VALUES (1), (1), (2)").ok());
+  EXPECT_EQ(Scalar(db, "SELECT COUNT(DISTINCT a) FROM t"), "2");
+}
+
+TEST(EngineBasic, RowTypeComparisonIsTypeError) {
+  Database db;
+  const StatementResult r = db.Execute("SELECT ROW(1, 1) = ROW(1, 2)");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status.code(), StatusCode::kTypeError);
+}
+
+TEST(EngineBasic, CoverageTracksTriggeredFunctions) {
+  Database db;
+  db.Execute("SELECT UPPER(LOWER('x'))");
+  EXPECT_GE(db.coverage().TriggeredFunctionCount(), 2u);
+}
+
+}  // namespace
+}  // namespace soft

@@ -1,0 +1,199 @@
+// Unit tests for the 10 boundary-value-generation patterns: each pattern
+// must produce its characteristic shapes, respect the Finding-3 cutoff, and
+// emit only parseable SQL.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/dialects/dialects.h"
+#include "src/soft/boundary_values.h"
+#include "src/soft/expr_collection.h"
+#include "src/soft/patterns.h"
+#include "src/sqlparser/parser.h"
+
+namespace soft {
+namespace {
+
+class PatternsTest : public testing::Test {
+ protected:
+  PatternsTest() : db_(MakeMariadbDialect()), engine_(*db_, 42) {}
+
+  std::vector<GeneratedCase> Generate(const std::string& pattern,
+                                      const std::string& seed,
+                                      std::vector<std::string> corpus = {}) {
+    std::vector<GeneratedCase> out;
+    engine_.GenerateOne(pattern, seed, corpus, out);
+    return out;
+  }
+
+  static bool AnyContains(const std::vector<GeneratedCase>& cases,
+                          const std::string& needle) {
+    return std::any_of(cases.begin(), cases.end(), [&](const GeneratedCase& c) {
+      return c.sql.find(needle) != std::string::npos;
+    });
+  }
+
+  std::unique_ptr<Database> db_;
+  PatternEngine engine_;
+};
+
+TEST_F(PatternsTest, PoolHasTheHeadlineValues) {
+  const BoundaryPool pool = GenerateBoundaryPool();
+  auto has = [&](const char* s) {
+    return std::find(pool.snippets.begin(), pool.snippets.end(), s) !=
+           pool.snippets.end();
+  };
+  EXPECT_TRUE(has("NULL"));
+  EXPECT_TRUE(has("*"));
+  EXPECT_TRUE(has("''"));
+  EXPECT_TRUE(has("-0.99999"));
+  EXPECT_TRUE(has("99999"));
+  EXPECT_TRUE(has("ROW(1, 1)"));
+  EXPECT_TRUE(has("9223372036854775807"));
+  // Digit-length enumeration, not just one extreme (Section 6's point).
+  int fraction_lengths = 0;
+  for (const std::string& s : pool.snippets) {
+    if (s.rfind("0.9", 0) == 0) {
+      ++fraction_lengths;
+    }
+  }
+  EXPECT_GT(fraction_lengths, 8);
+}
+
+TEST_F(PatternsTest, P12SubstitutesEveryPoolValue) {
+  const auto cases = Generate("P1.2", "LENGTH('abc')");
+  EXPECT_GE(cases.size(), engine_.pool().snippets.size());
+  EXPECT_TRUE(AnyContains(cases, "LENGTH(NULL)"));
+  EXPECT_TRUE(AnyContains(cases, "LENGTH(*)"));
+  EXPECT_TRUE(AnyContains(cases, "LENGTH('')"));
+  for (const GeneratedCase& c : cases) {
+    EXPECT_EQ(c.pattern, "P1.2");
+    EXPECT_TRUE(ParseStatement(c.sql).ok()) << c.sql;
+  }
+}
+
+TEST_F(PatternsTest, P13StuffsDigits) {
+  const auto cases = Generate("P1.3", "FORMAT(1.5, 2)");
+  ASSERT_FALSE(cases.empty());
+  EXPECT_TRUE(AnyContains(cases, "99999"));
+  // Both the decimal arg and the int arg get stuffed.
+  EXPECT_TRUE(AnyContains(cases, "FORMAT(1.5, "));
+}
+
+TEST_F(PatternsTest, P14RepeatsStructuralChars) {
+  const auto cases = Generate("P1.4", "JSON_VALID('{\"key\": 0}')");
+  ASSERT_FALSE(cases.empty());
+  EXPECT_TRUE(AnyContains(cases, "{{{{"));
+  for (const GeneratedCase& c : cases) {
+    EXPECT_TRUE(ParseStatement(c.sql).ok()) << c.sql;
+  }
+}
+
+TEST_F(PatternsTest, P21WrapsInCasts) {
+  const auto cases = Generate("P2.1", "LENGTH('abc')");
+  EXPECT_TRUE(AnyContains(cases, "CAST('abc' AS BLOB)"));
+  EXPECT_TRUE(AnyContains(cases, "AS GEOMETRY"));
+  EXPECT_TRUE(AnyContains(cases, "AS JSON"));
+}
+
+TEST_F(PatternsTest, P22BuildsUnionSubqueries) {
+  const auto cases = Generate("P2.2", "LENGTH('abc')");
+  ASSERT_FALSE(cases.empty());
+  EXPECT_TRUE(AnyContains(cases, "UNION"));
+  EXPECT_TRUE(AnyContains(cases, "(SELECT 'abc' UNION SELECT"));
+  for (const GeneratedCase& c : cases) {
+    EXPECT_TRUE(ParseStatement(c.sql).ok()) << c.sql;
+  }
+}
+
+TEST_F(PatternsTest, P23BorrowsWholeArgumentLists) {
+  const auto cases =
+      Generate("P2.3", "JSON_LENGTH('[1]', '$')", {"INSTR('banana', 'na')"});
+  // Full-list replacement: JSON_LENGTH('banana', 'na').
+  EXPECT_TRUE(AnyContains(cases, "JSON_LENGTH('banana', 'na')"));
+}
+
+TEST_F(PatternsTest, P31BuildsRepeatCalls) {
+  const auto cases = Generate("P3.1", "JSON_VALID('[1,2]')");
+  ASSERT_FALSE(cases.empty());
+  EXPECT_TRUE(AnyContains(cases, "REPEAT('[', "));
+  // Bounds sweep, not a single huge value.
+  EXPECT_TRUE(AnyContains(cases, ", 100)"));
+  EXPECT_TRUE(AnyContains(cases, ", 1100000)"));
+}
+
+TEST_F(PatternsTest, P31HandlesNonStringLiterals) {
+  const auto cases = Generate("P3.1", "ABS(17)");
+  EXPECT_TRUE(AnyContains(cases, "REPEAT('1', "));
+}
+
+TEST_F(PatternsTest, P32WrapsArguments) {
+  const auto cases = Generate("P3.2", "LENGTH('abc')");
+  ASSERT_FALSE(cases.empty());
+  for (const GeneratedCase& c : cases) {
+    // Shape: LENGTH(<FN>('abc')).
+    EXPECT_TRUE(c.sql.find("LENGTH(") != std::string::npos) << c.sql;
+    EXPECT_TRUE(ParseStatement(c.sql).ok()) << c.sql;
+    const Result<Statement> parsed = ParseStatement(c.sql);
+    EXPECT_EQ(parsed->select()->CountFunctionCalls(), 2) << c.sql;
+  }
+}
+
+TEST_F(PatternsTest, P33SubstitutesNestedCalls) {
+  const auto cases =
+      Generate("P3.3", "ST_ASTEXT(ST_GEOMFROMTEXT('POINT(1 2)'))",
+               {"INET6_ATON('255.255.255.255')"});
+  // The Case 6 chain must be constructible.
+  EXPECT_TRUE(AnyContains(cases, "ST_ASTEXT(INET6_ATON('255.255.255.255'))"));
+}
+
+TEST_F(PatternsTest, Finding3CutoffSkipsDeepSeeds) {
+  std::vector<GeneratedCase> out;
+  engine_.GenerateOne("P1.2", "UPPER(LOWER(TRIM('x')))", {}, out);
+  EXPECT_TRUE(out.empty());  // 3 calls > max_seed_functions (2)
+  engine_.GenerateOne("P1.2", "UPPER(LOWER('x'))", {}, out);
+  EXPECT_FALSE(out.empty());  // 2 calls allowed
+}
+
+TEST_F(PatternsTest, GenerateAllEmitsEveryFamily) {
+  std::vector<GeneratedCase> out;
+  engine_.GenerateAll("JSON_LENGTH('[1]', '$')",
+                      {"INSTR('banana', 'na')", "REPEAT('ab', 3)"}, out);
+  std::set<std::string> families;
+  for (const GeneratedCase& c : out) {
+    families.insert(c.pattern);
+  }
+  for (const char* p :
+       {"P1.2", "P1.3", "P1.4", "P2.1", "P2.2", "P2.3", "P3.1", "P3.2", "P3.3"}) {
+    EXPECT_TRUE(families.count(p) == 1) << p;
+  }
+}
+
+TEST(ExprCollection, ParenScanFindsKnownFunctions) {
+  auto db = MakeMariadbDialect();
+  const std::vector<std::string> found = ExtractFunctionExpressions(
+      "SELECT UPPER(b), NO_SUCH(x), JSON_LENGTH(REPEAT('[', 3), '$') FROM t",
+      db->registry());
+  ASSERT_GE(found.size(), 3u);  // UPPER, JSON_LENGTH, and nested REPEAT
+  EXPECT_EQ(found[0], "UPPER(b)");
+  EXPECT_TRUE(std::any_of(found.begin(), found.end(), [](const std::string& e) {
+    return e == "JSON_LENGTH(REPEAT('[', 3), '$')";
+  }));
+  // Unknown names are skipped; strings with parens don't confuse the scan.
+  for (const std::string& e : found) {
+    EXPECT_EQ(e.find("NO_SUCH"), std::string::npos);
+  }
+}
+
+TEST(ExprCollection, PrerequisitesSeparated) {
+  auto db = MakeMariadbDialect();
+  const FunctionCorpus corpus =
+      CollectCorpus(*db, {"CREATE TABLE t (a INT)", "INSERT INTO t VALUES (1)",
+                          "SELECT ABS(a) FROM t"});
+  EXPECT_EQ(corpus.prerequisites.size(), 2u);
+  EXPECT_TRUE(std::any_of(corpus.expressions.begin(), corpus.expressions.end(),
+                          [](const std::string& e) { return e == "ABS(a)"; }));
+}
+
+}  // namespace
+}  // namespace soft

@@ -1,0 +1,201 @@
+// Behaviour tests for the string function library — the paper's largest bug
+// category, so its boundary branches get the densest coverage here.
+#include <gtest/gtest.h>
+
+#include "src/engine/database.h"
+
+namespace soft {
+namespace {
+
+class StringFunctionsTest : public testing::Test {
+ protected:
+  std::string Eval(const std::string& expr) {
+    const StatementResult r = db_.Execute("SELECT " + expr);
+    if (!r.ok()) {
+      return "<" + std::string(StatusCodeName(r.status.code())) + ">";
+    }
+    return r.rows[0][0].ToDisplayString();
+  }
+  Database db_;
+};
+
+TEST_F(StringFunctionsTest, LengthFamily) {
+  EXPECT_EQ(Eval("LENGTH('hello')"), "5");
+  EXPECT_EQ(Eval("LENGTH('')"), "0");
+  EXPECT_EQ(Eval("CHAR_LENGTH('ab')"), "2");
+  EXPECT_EQ(Eval("LENGTH(123)"), "3");  // lenient coercion
+}
+
+TEST_F(StringFunctionsTest, CaseFamily) {
+  EXPECT_EQ(Eval("UPPER('MiXeD')"), "MIXED");
+  EXPECT_EQ(Eval("LOWER('MiXeD')"), "mixed");
+  EXPECT_EQ(Eval("INITCAP('hello world')"), "Hello World");
+}
+
+TEST_F(StringFunctionsTest, ConcatFamily) {
+  EXPECT_EQ(Eval("CONCAT('a', 'b', 'c')"), "abc");
+  EXPECT_EQ(Eval("CONCAT('n', 42)"), "n42");
+  EXPECT_EQ(Eval("CONCAT('a', NULL)"), "NULL");          // null-propagating
+  EXPECT_EQ(Eval("CONCAT_WS('-', 'a', NULL, 'b')"), "a-b");  // skips NULLs
+  EXPECT_EQ(Eval("CONCAT_WS(',', NULL, NULL)"), "");
+}
+
+TEST_F(StringFunctionsTest, SubstrBoundaries) {
+  EXPECT_EQ(Eval("SUBSTR('abcdef', 2, 3)"), "bcd");
+  EXPECT_EQ(Eval("SUBSTR('abcdef', 2)"), "bcdef");
+  EXPECT_EQ(Eval("SUBSTR('abcdef', 0)"), "");        // position 0 → empty
+  EXPECT_EQ(Eval("SUBSTR('abcdef', -2)"), "ef");     // negative from end
+  EXPECT_EQ(Eval("SUBSTR('abcdef', -100)"), "");     // before the start
+  EXPECT_EQ(Eval("SUBSTR('abcdef', 100)"), "");      // past the end
+  EXPECT_EQ(Eval("SUBSTR('abcdef', 2, 0)"), "");     // zero length
+  EXPECT_EQ(Eval("SUBSTR('abcdef', 2, -1)"), "");    // negative length
+  EXPECT_EQ(Eval("SUBSTR('abcdef', 2, 100)"), "bcdef");
+}
+
+TEST_F(StringFunctionsTest, LeftRight) {
+  EXPECT_EQ(Eval("LEFT('abcdef', 3)"), "abc");
+  EXPECT_EQ(Eval("RIGHT('abcdef', 3)"), "def");
+  EXPECT_EQ(Eval("LEFT('abc', 0)"), "");
+  EXPECT_EQ(Eval("LEFT('abc', -1)"), "");
+  EXPECT_EQ(Eval("RIGHT('abc', 100)"), "abc");
+}
+
+TEST_F(StringFunctionsTest, PadBoundaries) {
+  EXPECT_EQ(Eval("LPAD('5', 3, '0')"), "005");
+  EXPECT_EQ(Eval("RPAD('5', 3, '0')"), "500");
+  EXPECT_EQ(Eval("LPAD('abc', 2, '0')"), "ab");   // truncating pad
+  EXPECT_EQ(Eval("LPAD('a', 5, 'xy')"), "xyxya"); // multi-char pad
+  EXPECT_EQ(Eval("LPAD('a', -1, '0')"), "NULL");  // negative target
+  EXPECT_EQ(Eval("LPAD('a', 5, '')"), "");        // empty pad
+  EXPECT_EQ(Eval("LPAD('a', 3)"), "  a");         // default space pad
+}
+
+TEST_F(StringFunctionsTest, TrimFamily) {
+  EXPECT_EQ(Eval("TRIM('  a  ')"), "a");
+  EXPECT_EQ(Eval("LTRIM('  a  ')"), "a  ");
+  EXPECT_EQ(Eval("RTRIM('  a  ')"), "  a");
+  EXPECT_EQ(Eval("TRIM('    ')"), "");
+}
+
+TEST_F(StringFunctionsTest, ReplaceBoundaries) {
+  EXPECT_EQ(Eval("REPLACE('banana', 'a', 'o')"), "bonono");
+  EXPECT_EQ(Eval("REPLACE('banana', '', 'x')"), "banana");  // empty needle
+  EXPECT_EQ(Eval("REPLACE('banana', 'an', '')"), "ba");
+  EXPECT_EQ(Eval("REPLACE('aaa', 'aa', 'b')"), "ba");  // non-overlapping
+}
+
+TEST_F(StringFunctionsTest, RepeatBoundaries) {
+  EXPECT_EQ(Eval("REPEAT('ab', 3)"), "ababab");
+  EXPECT_EQ(Eval("REPEAT('ab', 0)"), "");
+  EXPECT_EQ(Eval("REPEAT('ab', -1)"), "");
+  EXPECT_EQ(Eval("REPEAT('a', 9999999999)"), "<RESOURCE_EXHAUSTED>");
+  EXPECT_EQ(Eval("REPEAT('', 1000)"), "");
+}
+
+TEST_F(StringFunctionsTest, SearchFamily) {
+  EXPECT_EQ(Eval("INSTR('banana', 'na')"), "3");
+  EXPECT_EQ(Eval("INSTR('banana', 'xyz')"), "0");
+  EXPECT_EQ(Eval("INSTR('banana', '')"), "1");
+  EXPECT_EQ(Eval("LOCATE('na', 'banana', 4)"), "5");
+  EXPECT_EQ(Eval("LOCATE('na', 'banana', 100)"), "0");
+  EXPECT_EQ(Eval("LOCATE('na', 'banana', 0)"), "0");  // invalid start
+}
+
+TEST_F(StringFunctionsTest, AsciiChr) {
+  EXPECT_EQ(Eval("ASCII('A')"), "65");
+  EXPECT_EQ(Eval("ASCII('')"), "0");
+  EXPECT_EQ(Eval("CHR(65)"), "A");
+  EXPECT_EQ(Eval("CHR(-1)"), "<INVALID_ARGUMENT>");
+  EXPECT_EQ(Eval("LENGTH(CHR(955))"), "2");  // UTF-8 two-byter (lambda)
+}
+
+TEST_F(StringFunctionsTest, FormatClampsFractionDigits) {
+  EXPECT_EQ(Eval("FORMAT(1234.567, 2)"), "1,234.57");
+  EXPECT_EQ(Eval("FORMAT(1234567, 0)"), "1,234,567");
+  EXPECT_EQ(Eval("FORMAT(0, 3)"), "0.000");
+  EXPECT_EQ(Eval("FORMAT(-1234.5, 1)"), "-1,234.5");
+  // The fixed MDEV-23415 behaviour: 50 digits clamp at 38, no scientific
+  // notation, no overflow.
+  const std::string out = Eval("FORMAT('0', 50, 'de_DE')");
+  EXPECT_EQ(out, "0." + std::string(38, '0'));
+  EXPECT_EQ(Eval("FORMAT(1, 2, 'bogus')"), "<INVALID_ARGUMENT>");
+}
+
+TEST_F(StringFunctionsTest, HexUnhexRoundTrip) {
+  EXPECT_EQ(Eval("HEX('abc')"), "616263");
+  EXPECT_EQ(Eval("HEX(255)"), "FF");
+  EXPECT_EQ(Eval("UNHEX('616263')"), "x'616263'");
+  EXPECT_EQ(Eval("UNHEX('ABC')"), "NULL");   // odd length
+  EXPECT_EQ(Eval("UNHEX('XYZ1')"), "NULL");  // invalid digits
+}
+
+TEST_F(StringFunctionsTest, Base64RoundTrip) {
+  EXPECT_EQ(Eval("TO_BASE64('abc')"), "YWJj");
+  EXPECT_EQ(Eval("TO_BASE64('a')"), "YQ==");
+  EXPECT_EQ(Eval("CAST(FROM_BASE64('YWJj') AS STRING)"), "abc");
+  EXPECT_EQ(Eval("FROM_BASE64('!!!')"), "NULL");
+}
+
+TEST_F(StringFunctionsTest, MiscFunctions) {
+  EXPECT_EQ(Eval("REVERSE('abc')"), "cba");
+  EXPECT_EQ(Eval("SPACE(3)"), "   ");
+  EXPECT_EQ(Eval("SPACE(-1)"), "");
+  EXPECT_EQ(Eval("STRCMP('a', 'b')"), "-1");
+  EXPECT_EQ(Eval("STRCMP('b', 'b')"), "0");
+  EXPECT_EQ(Eval("ELT(2, 'a', 'b', 'c')"), "b");
+  EXPECT_EQ(Eval("ELT(9, 'a', 'b')"), "NULL");
+  EXPECT_EQ(Eval("FIELD('b', 'a', 'b')"), "2");
+  EXPECT_EQ(Eval("FIELD('z', 'a', 'b')"), "0");
+  EXPECT_EQ(Eval("QUOTE('it''s')"), "'it''s'");
+  EXPECT_EQ(Eval("SOUNDEX('Robert')"), "R163");
+  EXPECT_EQ(Eval("SOUNDEX('')"), "");
+}
+
+TEST_F(StringFunctionsTest, SplitPartBoundaries) {
+  EXPECT_EQ(Eval("SPLIT_PART('a,b,c', ',', 2)"), "b");
+  EXPECT_EQ(Eval("SPLIT_PART('a,b,c', ',', -1)"), "c");
+  EXPECT_EQ(Eval("SPLIT_PART('a,b,c', ',', 9)"), "");
+  EXPECT_EQ(Eval("SPLIT_PART('a,b,c', ',', 0)"), "<INVALID_ARGUMENT>");
+  EXPECT_EQ(Eval("SPLIT_PART('abc', '', 1)"), "abc");
+}
+
+TEST_F(StringFunctionsTest, TranslateDeletesUnmapped) {
+  EXPECT_EQ(Eval("TRANSLATE('abc', 'abc', 'xyz')"), "xyz");
+  EXPECT_EQ(Eval("TRANSLATE('abc', 'ac', 'x')"), "xb");  // c deleted
+  EXPECT_EQ(Eval("TRANSLATE('abc', '', '')"), "abc");
+}
+
+TEST_F(StringFunctionsTest, RegexpLike) {
+  EXPECT_EQ(Eval("REGEXP_LIKE('abc', 'a.c')"), "TRUE");
+  EXPECT_EQ(Eval("REGEXP_LIKE('abc', '^b')"), "FALSE");
+  EXPECT_EQ(Eval("REGEXP_LIKE('abc', 'c$')"), "TRUE");
+  EXPECT_EQ(Eval("REGEXP_LIKE('aaab', 'a*b')"), "TRUE");
+  EXPECT_EQ(Eval("REGEXP_LIKE('xyz', '[a-c]')"), "FALSE");
+  EXPECT_EQ(Eval("REGEXP_LIKE('b', '[^a]')"), "TRUE");
+  EXPECT_EQ(Eval("REGEXP_LIKE('abc', '')"), "TRUE");
+}
+
+TEST_F(StringFunctionsTest, RegexpCve20160773Shape) {
+  // Codepoints at INT32_MAX in escapes are rejected, not overflowed — the
+  // patched PostgreSQL behaviour.
+  EXPECT_EQ(Eval("REGEXP_LIKE('abc', '[\\x61-\\x7a]')"), "TRUE");
+  EXPECT_EQ(Eval("REGEXP_LIKE('abc', '[\\x41-\\x7fffffff]')"), "<INVALID_ARGUMENT>");
+  EXPECT_EQ(Eval("REGEXP_LIKE('abc', '\\x7fffffff')"), "<INVALID_ARGUMENT>");
+  EXPECT_EQ(Eval("REGEXP_LIKE('abc', '[z-a]')"), "<INVALID_ARGUMENT>");  // bad range
+}
+
+TEST_F(StringFunctionsTest, RegexpReplace) {
+  EXPECT_EQ(Eval("REGEXP_REPLACE('banana', 'an', 'X')"), "bXXa");
+  EXPECT_EQ(Eval("REGEXP_REPLACE('abc', 'z', 'X')"), "abc");
+  EXPECT_EQ(Eval("REGEXP_REPLACE('abc', '', 'X')"), "abc");
+}
+
+TEST_F(StringFunctionsTest, DigestsAreStable) {
+  EXPECT_EQ(Eval("MD5('abc')"), Eval("MD5('abc')"));
+  EXPECT_NE(Eval("MD5('abc')"), Eval("MD5('abd')"));
+  EXPECT_EQ(Eval("LENGTH(MD5('abc'))"), "32");
+  EXPECT_EQ(Eval("LENGTH(SHA1('abc'))"), "40");
+}
+
+}  // namespace
+}  // namespace soft

@@ -1,0 +1,114 @@
+// The 318-bug study corpus must reproduce every statistic the paper reports
+// in Sections 3–6 — computed from the records, not hard-coded.
+#include <gtest/gtest.h>
+
+#include "src/corpus/study.h"
+
+namespace soft {
+namespace {
+
+double Pct(int part, int whole) { return 100.0 * part / whole; }
+
+TEST(Study, Table1CountsPerDbms) {
+  const BugStudy& study = BugStudy::Instance();
+  EXPECT_EQ(study.total(), 318);
+  const auto by_dbms = study.CountByDbms();
+  EXPECT_EQ(by_dbms.at("postgresql"), 39);
+  EXPECT_EQ(by_dbms.at("mysql"), 10);
+  EXPECT_EQ(by_dbms.at("mariadb"), 269);
+}
+
+TEST(Study, Finding1Stages) {
+  const BugStudy::StageStats stats = BugStudy::Instance().CountByStage();
+  EXPECT_EQ(stats.with_backtrace, 230);
+  EXPECT_EQ(stats.without_backtrace, 88);
+  EXPECT_EQ(stats.execute, 161);
+  EXPECT_EQ(stats.optimize, 45);
+  EXPECT_EQ(stats.parse, 24);
+  EXPECT_NEAR(Pct(stats.execute, stats.with_backtrace), 70.0, 0.05);
+  EXPECT_NEAR(Pct(stats.optimize, stats.with_backtrace), 19.6, 0.05);
+  EXPECT_NEAR(Pct(stats.parse, stats.with_backtrace), 10.4, 0.05);
+}
+
+TEST(Study, Finding2FunctionTypes) {
+  const BugStudy& study = BugStudy::Instance();
+  EXPECT_EQ(study.TotalOccurrences(), 508);
+  const auto stats = study.FunctionTypeStats();
+  // The two numerically stated Figure 1 bars.
+  EXPECT_EQ(stats.at("string").occurrences, 117);
+  EXPECT_EQ(stats.at("string").unique_functions, 57);
+  EXPECT_EQ(stats.at("aggregate").occurrences, 91);
+  EXPECT_NEAR(Pct(stats.at("string").occurrences, 508), 23.0, 0.05);
+  EXPECT_NEAR(Pct(stats.at("aggregate").occurrences, 508), 17.9, 0.05);
+  // "Over 40% of the bugs were caused by these two types."
+  EXPECT_GT(Pct(stats.at("string").occurrences + stats.at("aggregate").occurrences, 508),
+            40.0);
+  // String has by far the most distinct buggy functions.
+  for (const auto& [type, s] : stats) {
+    if (type != "string") {
+      EXPECT_LT(s.unique_functions, stats.at("string").unique_functions) << type;
+    }
+  }
+}
+
+TEST(Study, Table2ExpressionCounts) {
+  const auto by_count = BugStudy::Instance().CountByExpressionCount();
+  EXPECT_EQ(by_count.at(1), 191);
+  EXPECT_EQ(by_count.at(2), 87);
+  EXPECT_EQ(by_count.at(3), 23);
+  EXPECT_EQ(by_count.at(4), 11);
+  EXPECT_EQ(by_count.at(5), 6);
+  // Finding 3: 87.5% have at most two expressions.
+  EXPECT_NEAR(Pct(by_count.at(1) + by_count.at(2), 318), 87.5, 0.2);
+}
+
+TEST(Study, Finding4Prerequisites) {
+  const BugStudy::PrereqStats stats = BugStudy::Instance().CountByPrereq();
+  EXPECT_EQ(stats.table_and_data, 151);
+  EXPECT_EQ(stats.none, 132);
+  EXPECT_EQ(stats.empty_table, 35);
+  EXPECT_NEAR(Pct(stats.table_and_data, 318), 47.5, 0.05);
+  EXPECT_NEAR(Pct(stats.none, 318), 41.5, 0.05);
+  EXPECT_NEAR(Pct(stats.empty_table, 318), 11.0, 0.05);
+}
+
+TEST(Study, Section5RootCauses) {
+  const BugStudy::CauseStats stats = BugStudy::Instance().CountByCause();
+  EXPECT_EQ(stats.boundary_literal, 94);
+  EXPECT_EQ(stats.boundary_cast, 74);
+  EXPECT_EQ(stats.boundary_nested, 110);
+  EXPECT_EQ(stats.boundary_total(), 278);
+  EXPECT_NEAR(Pct(stats.boundary_total(), 318), 87.4, 0.05);
+  EXPECT_NEAR(Pct(stats.boundary_literal, 318), 29.5, 0.06);
+  EXPECT_NEAR(Pct(stats.boundary_cast, 318), 23.3, 0.05);
+  EXPECT_NEAR(Pct(stats.boundary_nested, 318), 34.6, 0.05);
+  EXPECT_EQ(stats.configuration, 8);
+  EXPECT_EQ(stats.table_definition, 24);
+  EXPECT_EQ(stats.complex_syntax, 8);
+}
+
+TEST(Study, Section6LiteralClasses) {
+  const BugStudy::LiteralClassStats stats = BugStudy::Instance().CountByLiteralClass();
+  EXPECT_EQ(stats.extreme_numeric, 32);
+  EXPECT_EQ(stats.empty_or_null, 21);
+  EXPECT_EQ(stats.crafted_format, 41);
+  EXPECT_NEAR(Pct(stats.extreme_numeric, 318), 10.0, 0.1);
+  EXPECT_NEAR(Pct(stats.empty_or_null, 318), 6.6, 0.05);
+  EXPECT_NEAR(Pct(stats.crafted_format, 318), 12.9, 0.05);
+}
+
+TEST(Study, InternalConsistency) {
+  // Per-record invariants of the synthesized corpus.
+  for (const StudiedBug& bug : BugStudy::Instance().bugs()) {
+    EXPECT_GE(bug.expression_count(), 1);
+    EXPECT_EQ(bug.expr_types.size(), bug.expr_functions.size());
+    const bool is_literal_cause =
+        bug.cause == StudiedBug::RootCause::kBoundaryLiteral;
+    EXPECT_EQ(bug.literal_class != StudiedBug::LiteralClass::kNotApplicable,
+              is_literal_cause)
+        << bug.id;
+  }
+}
+
+}  // namespace
+}  // namespace soft
