@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bugs_budget.dir/bench_bugs_budget.cc.o"
+  "CMakeFiles/bench_bugs_budget.dir/bench_bugs_budget.cc.o.d"
+  "bench_bugs_budget"
+  "bench_bugs_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bugs_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

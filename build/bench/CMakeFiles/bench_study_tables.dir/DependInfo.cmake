@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_study_tables.cc" "bench/CMakeFiles/bench_study_tables.dir/bench_study_tables.cc.o" "gcc" "bench/CMakeFiles/bench_study_tables.dir/bench_study_tables.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/soft_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/soft_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/soft/CMakeFiles/soft_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dialects/CMakeFiles/soft_dialects.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/soft_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sqlparser/CMakeFiles/soft_sqlparser.dir/DependInfo.cmake"
+  "/root/repo/build/src/sqlast/CMakeFiles/soft_sqlast.dir/DependInfo.cmake"
+  "/root/repo/build/src/sqlfunc/CMakeFiles/soft_sqlfunc.dir/DependInfo.cmake"
+  "/root/repo/build/src/coverage/CMakeFiles/soft_coverage.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/soft_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/sqlvalue/CMakeFiles/soft_sqlvalue.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/soft_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_study_tables.dir/bench_study_tables.cc.o"
+  "CMakeFiles/bench_study_tables.dir/bench_study_tables.cc.o.d"
+  "bench_study_tables"
+  "bench_study_tables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_study_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/study_explorer.dir/study_explorer.cpp.o"
+  "CMakeFiles/study_explorer.dir/study_explorer.cpp.o.d"
+  "study_explorer"
+  "study_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/study_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

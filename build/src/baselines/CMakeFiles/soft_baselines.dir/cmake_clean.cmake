@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soft_baselines.dir/comparison.cc.o"
+  "CMakeFiles/soft_baselines.dir/comparison.cc.o.d"
+  "CMakeFiles/soft_baselines.dir/mutsquirrel.cc.o"
+  "CMakeFiles/soft_baselines.dir/mutsquirrel.cc.o.d"
+  "CMakeFiles/soft_baselines.dir/pqsgen.cc.o"
+  "CMakeFiles/soft_baselines.dir/pqsgen.cc.o.d"
+  "CMakeFiles/soft_baselines.dir/randsmith.cc.o"
+  "CMakeFiles/soft_baselines.dir/randsmith.cc.o.d"
+  "libsoft_baselines.a"
+  "libsoft_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soft_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soft_corpus.dir/study.cc.o"
+  "CMakeFiles/soft_corpus.dir/study.cc.o.d"
+  "libsoft_corpus.a"
+  "libsoft_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soft_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soft_coverage.dir/coverage.cc.o"
+  "CMakeFiles/soft_coverage.dir/coverage.cc.o.d"
+  "libsoft_coverage.a"
+  "libsoft_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soft_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

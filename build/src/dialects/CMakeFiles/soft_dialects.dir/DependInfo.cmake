@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dialects/clickhouse.cc" "src/dialects/CMakeFiles/soft_dialects.dir/clickhouse.cc.o" "gcc" "src/dialects/CMakeFiles/soft_dialects.dir/clickhouse.cc.o.d"
+  "/root/repo/src/dialects/dialects.cc" "src/dialects/CMakeFiles/soft_dialects.dir/dialects.cc.o" "gcc" "src/dialects/CMakeFiles/soft_dialects.dir/dialects.cc.o.d"
+  "/root/repo/src/dialects/duckdb.cc" "src/dialects/CMakeFiles/soft_dialects.dir/duckdb.cc.o" "gcc" "src/dialects/CMakeFiles/soft_dialects.dir/duckdb.cc.o.d"
+  "/root/repo/src/dialects/mariadb.cc" "src/dialects/CMakeFiles/soft_dialects.dir/mariadb.cc.o" "gcc" "src/dialects/CMakeFiles/soft_dialects.dir/mariadb.cc.o.d"
+  "/root/repo/src/dialects/monetdb.cc" "src/dialects/CMakeFiles/soft_dialects.dir/monetdb.cc.o" "gcc" "src/dialects/CMakeFiles/soft_dialects.dir/monetdb.cc.o.d"
+  "/root/repo/src/dialects/mysql.cc" "src/dialects/CMakeFiles/soft_dialects.dir/mysql.cc.o" "gcc" "src/dialects/CMakeFiles/soft_dialects.dir/mysql.cc.o.d"
+  "/root/repo/src/dialects/poc.cc" "src/dialects/CMakeFiles/soft_dialects.dir/poc.cc.o" "gcc" "src/dialects/CMakeFiles/soft_dialects.dir/poc.cc.o.d"
+  "/root/repo/src/dialects/postgresql.cc" "src/dialects/CMakeFiles/soft_dialects.dir/postgresql.cc.o" "gcc" "src/dialects/CMakeFiles/soft_dialects.dir/postgresql.cc.o.d"
+  "/root/repo/src/dialects/virtuoso.cc" "src/dialects/CMakeFiles/soft_dialects.dir/virtuoso.cc.o" "gcc" "src/dialects/CMakeFiles/soft_dialects.dir/virtuoso.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/soft_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sqlparser/CMakeFiles/soft_sqlparser.dir/DependInfo.cmake"
+  "/root/repo/build/src/sqlast/CMakeFiles/soft_sqlast.dir/DependInfo.cmake"
+  "/root/repo/build/src/sqlfunc/CMakeFiles/soft_sqlfunc.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/soft_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/sqlvalue/CMakeFiles/soft_sqlvalue.dir/DependInfo.cmake"
+  "/root/repo/build/src/coverage/CMakeFiles/soft_coverage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/soft_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soft_dialects.dir/clickhouse.cc.o"
+  "CMakeFiles/soft_dialects.dir/clickhouse.cc.o.d"
+  "CMakeFiles/soft_dialects.dir/dialects.cc.o"
+  "CMakeFiles/soft_dialects.dir/dialects.cc.o.d"
+  "CMakeFiles/soft_dialects.dir/duckdb.cc.o"
+  "CMakeFiles/soft_dialects.dir/duckdb.cc.o.d"
+  "CMakeFiles/soft_dialects.dir/mariadb.cc.o"
+  "CMakeFiles/soft_dialects.dir/mariadb.cc.o.d"
+  "CMakeFiles/soft_dialects.dir/monetdb.cc.o"
+  "CMakeFiles/soft_dialects.dir/monetdb.cc.o.d"
+  "CMakeFiles/soft_dialects.dir/mysql.cc.o"
+  "CMakeFiles/soft_dialects.dir/mysql.cc.o.d"
+  "CMakeFiles/soft_dialects.dir/poc.cc.o"
+  "CMakeFiles/soft_dialects.dir/poc.cc.o.d"
+  "CMakeFiles/soft_dialects.dir/postgresql.cc.o"
+  "CMakeFiles/soft_dialects.dir/postgresql.cc.o.d"
+  "CMakeFiles/soft_dialects.dir/virtuoso.cc.o"
+  "CMakeFiles/soft_dialects.dir/virtuoso.cc.o.d"
+  "libsoft_dialects.a"
+  "libsoft_dialects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soft_dialects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soft_engine.dir/database.cc.o"
+  "CMakeFiles/soft_engine.dir/database.cc.o.d"
+  "CMakeFiles/soft_engine.dir/evaluator.cc.o"
+  "CMakeFiles/soft_engine.dir/evaluator.cc.o.d"
+  "CMakeFiles/soft_engine.dir/optimizer.cc.o"
+  "CMakeFiles/soft_engine.dir/optimizer.cc.o.d"
+  "CMakeFiles/soft_engine.dir/select_executor.cc.o"
+  "CMakeFiles/soft_engine.dir/select_executor.cc.o.d"
+  "libsoft_engine.a"
+  "libsoft_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soft_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

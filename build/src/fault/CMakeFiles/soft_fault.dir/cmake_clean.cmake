@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soft_fault.dir/fault.cc.o"
+  "CMakeFiles/soft_fault.dir/fault.cc.o.d"
+  "libsoft_fault.a"
+  "libsoft_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soft_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

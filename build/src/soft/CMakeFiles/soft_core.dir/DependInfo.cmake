@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/soft/boundary_values.cc" "src/soft/CMakeFiles/soft_core.dir/boundary_values.cc.o" "gcc" "src/soft/CMakeFiles/soft_core.dir/boundary_values.cc.o.d"
+  "/root/repo/src/soft/clause_extension.cc" "src/soft/CMakeFiles/soft_core.dir/clause_extension.cc.o" "gcc" "src/soft/CMakeFiles/soft_core.dir/clause_extension.cc.o.d"
+  "/root/repo/src/soft/expr_collection.cc" "src/soft/CMakeFiles/soft_core.dir/expr_collection.cc.o" "gcc" "src/soft/CMakeFiles/soft_core.dir/expr_collection.cc.o.d"
+  "/root/repo/src/soft/logic_oracle.cc" "src/soft/CMakeFiles/soft_core.dir/logic_oracle.cc.o" "gcc" "src/soft/CMakeFiles/soft_core.dir/logic_oracle.cc.o.d"
+  "/root/repo/src/soft/patterns.cc" "src/soft/CMakeFiles/soft_core.dir/patterns.cc.o" "gcc" "src/soft/CMakeFiles/soft_core.dir/patterns.cc.o.d"
+  "/root/repo/src/soft/report.cc" "src/soft/CMakeFiles/soft_core.dir/report.cc.o" "gcc" "src/soft/CMakeFiles/soft_core.dir/report.cc.o.d"
+  "/root/repo/src/soft/seeds.cc" "src/soft/CMakeFiles/soft_core.dir/seeds.cc.o" "gcc" "src/soft/CMakeFiles/soft_core.dir/seeds.cc.o.d"
+  "/root/repo/src/soft/soft_fuzzer.cc" "src/soft/CMakeFiles/soft_core.dir/soft_fuzzer.cc.o" "gcc" "src/soft/CMakeFiles/soft_core.dir/soft_fuzzer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/soft_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/dialects/CMakeFiles/soft_dialects.dir/DependInfo.cmake"
+  "/root/repo/build/src/sqlparser/CMakeFiles/soft_sqlparser.dir/DependInfo.cmake"
+  "/root/repo/build/src/sqlast/CMakeFiles/soft_sqlast.dir/DependInfo.cmake"
+  "/root/repo/build/src/sqlfunc/CMakeFiles/soft_sqlfunc.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/soft_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/sqlvalue/CMakeFiles/soft_sqlvalue.dir/DependInfo.cmake"
+  "/root/repo/build/src/coverage/CMakeFiles/soft_coverage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/soft_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soft_core.dir/boundary_values.cc.o"
+  "CMakeFiles/soft_core.dir/boundary_values.cc.o.d"
+  "CMakeFiles/soft_core.dir/clause_extension.cc.o"
+  "CMakeFiles/soft_core.dir/clause_extension.cc.o.d"
+  "CMakeFiles/soft_core.dir/expr_collection.cc.o"
+  "CMakeFiles/soft_core.dir/expr_collection.cc.o.d"
+  "CMakeFiles/soft_core.dir/logic_oracle.cc.o"
+  "CMakeFiles/soft_core.dir/logic_oracle.cc.o.d"
+  "CMakeFiles/soft_core.dir/patterns.cc.o"
+  "CMakeFiles/soft_core.dir/patterns.cc.o.d"
+  "CMakeFiles/soft_core.dir/report.cc.o"
+  "CMakeFiles/soft_core.dir/report.cc.o.d"
+  "CMakeFiles/soft_core.dir/seeds.cc.o"
+  "CMakeFiles/soft_core.dir/seeds.cc.o.d"
+  "CMakeFiles/soft_core.dir/soft_fuzzer.cc.o"
+  "CMakeFiles/soft_core.dir/soft_fuzzer.cc.o.d"
+  "libsoft_core.a"
+  "libsoft_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soft_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soft_sqlast.dir/ast.cc.o"
+  "CMakeFiles/soft_sqlast.dir/ast.cc.o.d"
+  "libsoft_sqlast.a"
+  "libsoft_sqlast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soft_sqlast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

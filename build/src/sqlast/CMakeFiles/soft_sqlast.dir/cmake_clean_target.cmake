@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsoft_sqlast.a"
+)

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sqlfunc/aggregate_functions.cc" "src/sqlfunc/CMakeFiles/soft_sqlfunc.dir/aggregate_functions.cc.o" "gcc" "src/sqlfunc/CMakeFiles/soft_sqlfunc.dir/aggregate_functions.cc.o.d"
+  "/root/repo/src/sqlfunc/array_map_functions.cc" "src/sqlfunc/CMakeFiles/soft_sqlfunc.dir/array_map_functions.cc.o" "gcc" "src/sqlfunc/CMakeFiles/soft_sqlfunc.dir/array_map_functions.cc.o.d"
+  "/root/repo/src/sqlfunc/casting_functions.cc" "src/sqlfunc/CMakeFiles/soft_sqlfunc.dir/casting_functions.cc.o" "gcc" "src/sqlfunc/CMakeFiles/soft_sqlfunc.dir/casting_functions.cc.o.d"
+  "/root/repo/src/sqlfunc/condition_functions.cc" "src/sqlfunc/CMakeFiles/soft_sqlfunc.dir/condition_functions.cc.o" "gcc" "src/sqlfunc/CMakeFiles/soft_sqlfunc.dir/condition_functions.cc.o.d"
+  "/root/repo/src/sqlfunc/date_functions.cc" "src/sqlfunc/CMakeFiles/soft_sqlfunc.dir/date_functions.cc.o" "gcc" "src/sqlfunc/CMakeFiles/soft_sqlfunc.dir/date_functions.cc.o.d"
+  "/root/repo/src/sqlfunc/function.cc" "src/sqlfunc/CMakeFiles/soft_sqlfunc.dir/function.cc.o" "gcc" "src/sqlfunc/CMakeFiles/soft_sqlfunc.dir/function.cc.o.d"
+  "/root/repo/src/sqlfunc/json_functions.cc" "src/sqlfunc/CMakeFiles/soft_sqlfunc.dir/json_functions.cc.o" "gcc" "src/sqlfunc/CMakeFiles/soft_sqlfunc.dir/json_functions.cc.o.d"
+  "/root/repo/src/sqlfunc/math_functions.cc" "src/sqlfunc/CMakeFiles/soft_sqlfunc.dir/math_functions.cc.o" "gcc" "src/sqlfunc/CMakeFiles/soft_sqlfunc.dir/math_functions.cc.o.d"
+  "/root/repo/src/sqlfunc/sequence_functions.cc" "src/sqlfunc/CMakeFiles/soft_sqlfunc.dir/sequence_functions.cc.o" "gcc" "src/sqlfunc/CMakeFiles/soft_sqlfunc.dir/sequence_functions.cc.o.d"
+  "/root/repo/src/sqlfunc/spatial_functions.cc" "src/sqlfunc/CMakeFiles/soft_sqlfunc.dir/spatial_functions.cc.o" "gcc" "src/sqlfunc/CMakeFiles/soft_sqlfunc.dir/spatial_functions.cc.o.d"
+  "/root/repo/src/sqlfunc/string_functions.cc" "src/sqlfunc/CMakeFiles/soft_sqlfunc.dir/string_functions.cc.o" "gcc" "src/sqlfunc/CMakeFiles/soft_sqlfunc.dir/string_functions.cc.o.d"
+  "/root/repo/src/sqlfunc/system_functions.cc" "src/sqlfunc/CMakeFiles/soft_sqlfunc.dir/system_functions.cc.o" "gcc" "src/sqlfunc/CMakeFiles/soft_sqlfunc.dir/system_functions.cc.o.d"
+  "/root/repo/src/sqlfunc/xml_functions.cc" "src/sqlfunc/CMakeFiles/soft_sqlfunc.dir/xml_functions.cc.o" "gcc" "src/sqlfunc/CMakeFiles/soft_sqlfunc.dir/xml_functions.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sqlvalue/CMakeFiles/soft_sqlvalue.dir/DependInfo.cmake"
+  "/root/repo/build/src/coverage/CMakeFiles/soft_coverage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/soft_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soft_sqlfunc.dir/aggregate_functions.cc.o"
+  "CMakeFiles/soft_sqlfunc.dir/aggregate_functions.cc.o.d"
+  "CMakeFiles/soft_sqlfunc.dir/array_map_functions.cc.o"
+  "CMakeFiles/soft_sqlfunc.dir/array_map_functions.cc.o.d"
+  "CMakeFiles/soft_sqlfunc.dir/casting_functions.cc.o"
+  "CMakeFiles/soft_sqlfunc.dir/casting_functions.cc.o.d"
+  "CMakeFiles/soft_sqlfunc.dir/condition_functions.cc.o"
+  "CMakeFiles/soft_sqlfunc.dir/condition_functions.cc.o.d"
+  "CMakeFiles/soft_sqlfunc.dir/date_functions.cc.o"
+  "CMakeFiles/soft_sqlfunc.dir/date_functions.cc.o.d"
+  "CMakeFiles/soft_sqlfunc.dir/function.cc.o"
+  "CMakeFiles/soft_sqlfunc.dir/function.cc.o.d"
+  "CMakeFiles/soft_sqlfunc.dir/json_functions.cc.o"
+  "CMakeFiles/soft_sqlfunc.dir/json_functions.cc.o.d"
+  "CMakeFiles/soft_sqlfunc.dir/math_functions.cc.o"
+  "CMakeFiles/soft_sqlfunc.dir/math_functions.cc.o.d"
+  "CMakeFiles/soft_sqlfunc.dir/sequence_functions.cc.o"
+  "CMakeFiles/soft_sqlfunc.dir/sequence_functions.cc.o.d"
+  "CMakeFiles/soft_sqlfunc.dir/spatial_functions.cc.o"
+  "CMakeFiles/soft_sqlfunc.dir/spatial_functions.cc.o.d"
+  "CMakeFiles/soft_sqlfunc.dir/string_functions.cc.o"
+  "CMakeFiles/soft_sqlfunc.dir/string_functions.cc.o.d"
+  "CMakeFiles/soft_sqlfunc.dir/system_functions.cc.o"
+  "CMakeFiles/soft_sqlfunc.dir/system_functions.cc.o.d"
+  "CMakeFiles/soft_sqlfunc.dir/xml_functions.cc.o"
+  "CMakeFiles/soft_sqlfunc.dir/xml_functions.cc.o.d"
+  "libsoft_sqlfunc.a"
+  "libsoft_sqlfunc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soft_sqlfunc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

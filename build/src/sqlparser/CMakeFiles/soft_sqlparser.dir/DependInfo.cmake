@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sqlparser/lexer.cc" "src/sqlparser/CMakeFiles/soft_sqlparser.dir/lexer.cc.o" "gcc" "src/sqlparser/CMakeFiles/soft_sqlparser.dir/lexer.cc.o.d"
+  "/root/repo/src/sqlparser/parser.cc" "src/sqlparser/CMakeFiles/soft_sqlparser.dir/parser.cc.o" "gcc" "src/sqlparser/CMakeFiles/soft_sqlparser.dir/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sqlast/CMakeFiles/soft_sqlast.dir/DependInfo.cmake"
+  "/root/repo/build/src/sqlvalue/CMakeFiles/soft_sqlvalue.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/soft_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soft_sqlparser.dir/lexer.cc.o"
+  "CMakeFiles/soft_sqlparser.dir/lexer.cc.o.d"
+  "CMakeFiles/soft_sqlparser.dir/parser.cc.o"
+  "CMakeFiles/soft_sqlparser.dir/parser.cc.o.d"
+  "libsoft_sqlparser.a"
+  "libsoft_sqlparser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soft_sqlparser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

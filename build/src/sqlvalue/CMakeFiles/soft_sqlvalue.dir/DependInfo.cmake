@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sqlvalue/cast.cc" "src/sqlvalue/CMakeFiles/soft_sqlvalue.dir/cast.cc.o" "gcc" "src/sqlvalue/CMakeFiles/soft_sqlvalue.dir/cast.cc.o.d"
+  "/root/repo/src/sqlvalue/datetime.cc" "src/sqlvalue/CMakeFiles/soft_sqlvalue.dir/datetime.cc.o" "gcc" "src/sqlvalue/CMakeFiles/soft_sqlvalue.dir/datetime.cc.o.d"
+  "/root/repo/src/sqlvalue/decimal.cc" "src/sqlvalue/CMakeFiles/soft_sqlvalue.dir/decimal.cc.o" "gcc" "src/sqlvalue/CMakeFiles/soft_sqlvalue.dir/decimal.cc.o.d"
+  "/root/repo/src/sqlvalue/geometry.cc" "src/sqlvalue/CMakeFiles/soft_sqlvalue.dir/geometry.cc.o" "gcc" "src/sqlvalue/CMakeFiles/soft_sqlvalue.dir/geometry.cc.o.d"
+  "/root/repo/src/sqlvalue/inet.cc" "src/sqlvalue/CMakeFiles/soft_sqlvalue.dir/inet.cc.o" "gcc" "src/sqlvalue/CMakeFiles/soft_sqlvalue.dir/inet.cc.o.d"
+  "/root/repo/src/sqlvalue/json.cc" "src/sqlvalue/CMakeFiles/soft_sqlvalue.dir/json.cc.o" "gcc" "src/sqlvalue/CMakeFiles/soft_sqlvalue.dir/json.cc.o.d"
+  "/root/repo/src/sqlvalue/type.cc" "src/sqlvalue/CMakeFiles/soft_sqlvalue.dir/type.cc.o" "gcc" "src/sqlvalue/CMakeFiles/soft_sqlvalue.dir/type.cc.o.d"
+  "/root/repo/src/sqlvalue/value.cc" "src/sqlvalue/CMakeFiles/soft_sqlvalue.dir/value.cc.o" "gcc" "src/sqlvalue/CMakeFiles/soft_sqlvalue.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/soft_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soft_sqlvalue.dir/cast.cc.o"
+  "CMakeFiles/soft_sqlvalue.dir/cast.cc.o.d"
+  "CMakeFiles/soft_sqlvalue.dir/datetime.cc.o"
+  "CMakeFiles/soft_sqlvalue.dir/datetime.cc.o.d"
+  "CMakeFiles/soft_sqlvalue.dir/decimal.cc.o"
+  "CMakeFiles/soft_sqlvalue.dir/decimal.cc.o.d"
+  "CMakeFiles/soft_sqlvalue.dir/geometry.cc.o"
+  "CMakeFiles/soft_sqlvalue.dir/geometry.cc.o.d"
+  "CMakeFiles/soft_sqlvalue.dir/inet.cc.o"
+  "CMakeFiles/soft_sqlvalue.dir/inet.cc.o.d"
+  "CMakeFiles/soft_sqlvalue.dir/json.cc.o"
+  "CMakeFiles/soft_sqlvalue.dir/json.cc.o.d"
+  "CMakeFiles/soft_sqlvalue.dir/type.cc.o"
+  "CMakeFiles/soft_sqlvalue.dir/type.cc.o.d"
+  "CMakeFiles/soft_sqlvalue.dir/value.cc.o"
+  "CMakeFiles/soft_sqlvalue.dir/value.cc.o.d"
+  "libsoft_sqlvalue.a"
+  "libsoft_sqlvalue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soft_sqlvalue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soft_util.dir/rng.cc.o"
+  "CMakeFiles/soft_util.dir/rng.cc.o.d"
+  "CMakeFiles/soft_util.dir/status.cc.o"
+  "CMakeFiles/soft_util.dir/status.cc.o.d"
+  "CMakeFiles/soft_util.dir/str_util.cc.o"
+  "CMakeFiles/soft_util.dir/str_util.cc.o.d"
+  "libsoft_util.a"
+  "libsoft_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soft_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

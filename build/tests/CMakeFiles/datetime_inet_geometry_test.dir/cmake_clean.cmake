@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datetime_inet_geometry_test.dir/datetime_inet_geometry_test.cc.o"
+  "CMakeFiles/datetime_inet_geometry_test.dir/datetime_inet_geometry_test.cc.o.d"
+  "datetime_inet_geometry_test"
+  "datetime_inet_geometry_test.pdb"
+  "datetime_inet_geometry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datetime_inet_geometry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

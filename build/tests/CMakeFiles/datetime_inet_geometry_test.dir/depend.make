@@ -1,0 +1,2 @@
+# Empty dependencies file for datetime_inet_geometry_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dialect_bug_oracle_test.dir/dialect_bug_oracle_test.cc.o"
+  "CMakeFiles/dialect_bug_oracle_test.dir/dialect_bug_oracle_test.cc.o.d"
+  "dialect_bug_oracle_test"
+  "dialect_bug_oracle_test.pdb"
+  "dialect_bug_oracle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dialect_bug_oracle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/json_xml_test.dir/json_xml_test.cc.o"
+  "CMakeFiles/json_xml_test.dir/json_xml_test.cc.o.d"
+  "json_xml_test"
+  "json_xml_test.pdb"
+  "json_xml_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/json_xml_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/numeric_date_functions_test.dir/numeric_date_functions_test.cc.o"
+  "CMakeFiles/numeric_date_functions_test.dir/numeric_date_functions_test.cc.o.d"
+  "numeric_date_functions_test"
+  "numeric_date_functions_test.pdb"
+  "numeric_date_functions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/numeric_date_functions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

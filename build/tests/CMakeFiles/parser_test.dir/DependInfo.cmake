@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/parser_test.cc" "tests/CMakeFiles/parser_test.dir/parser_test.cc.o" "gcc" "tests/CMakeFiles/parser_test.dir/parser_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/soft_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sqlparser/CMakeFiles/soft_sqlparser.dir/DependInfo.cmake"
+  "/root/repo/build/src/sqlast/CMakeFiles/soft_sqlast.dir/DependInfo.cmake"
+  "/root/repo/build/src/sqlfunc/CMakeFiles/soft_sqlfunc.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/soft_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/sqlvalue/CMakeFiles/soft_sqlvalue.dir/DependInfo.cmake"
+  "/root/repo/build/src/coverage/CMakeFiles/soft_coverage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/soft_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soft_fuzzer_test.dir/soft_fuzzer_test.cc.o"
+  "CMakeFiles/soft_fuzzer_test.dir/soft_fuzzer_test.cc.o.d"
+  "soft_fuzzer_test"
+  "soft_fuzzer_test.pdb"
+  "soft_fuzzer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soft_fuzzer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/string_functions_test.dir/string_functions_test.cc.o"
+  "CMakeFiles/string_functions_test.dir/string_functions_test.cc.o.d"
+  "string_functions_test"
+  "string_functions_test.pdb"
+  "string_functions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/string_functions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

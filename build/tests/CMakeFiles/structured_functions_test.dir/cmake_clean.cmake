@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/structured_functions_test.dir/structured_functions_test.cc.o"
+  "CMakeFiles/structured_functions_test.dir/structured_functions_test.cc.o.d"
+  "structured_functions_test"
+  "structured_functions_test.pdb"
+  "structured_functions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/structured_functions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/study_test.cc" "tests/CMakeFiles/study_test.dir/study_test.cc.o" "gcc" "tests/CMakeFiles/study_test.dir/study_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/corpus/CMakeFiles/soft_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/soft_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/sqlvalue/CMakeFiles/soft_sqlvalue.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/soft_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

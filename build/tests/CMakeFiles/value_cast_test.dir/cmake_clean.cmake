@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/value_cast_test.dir/value_cast_test.cc.o"
+  "CMakeFiles/value_cast_test.dir/value_cast_test.cc.o.d"
+  "value_cast_test"
+  "value_cast_test.pdb"
+  "value_cast_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/value_cast_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/engine_basic_test[1]_include.cmake")
+include("/root/repo/build/tests/dialect_bug_oracle_test[1]_include.cmake")
+include("/root/repo/build/tests/soft_fuzzer_test[1]_include.cmake")
+include("/root/repo/build/tests/decimal_test[1]_include.cmake")
+include("/root/repo/build/tests/json_xml_test[1]_include.cmake")
+include("/root/repo/build/tests/datetime_inet_geometry_test[1]_include.cmake")
+include("/root/repo/build/tests/value_cast_test[1]_include.cmake")
+include("/root/repo/build/tests/parser_test[1]_include.cmake")
+include("/root/repo/build/tests/study_test[1]_include.cmake")
+include("/root/repo/build/tests/patterns_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/string_functions_test[1]_include.cmake")
+include("/root/repo/build/tests/numeric_date_functions_test[1]_include.cmake")
+include("/root/repo/build/tests/structured_functions_test[1]_include.cmake")
+include("/root/repo/build/tests/fault_coverage_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/semantics_property_test[1]_include.cmake")
