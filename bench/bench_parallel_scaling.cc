@@ -1,0 +1,156 @@
+// Scaling curve of the sharded campaign runner (supporting bench; the
+// paper's campaigns are 24-hour wall-clock runs against seven DBMSs in
+// parallel, ours replays them as sharded statement budgets).
+//
+// Runs a fixed-budget SOFT campaign on the Virtuoso dialect (the largest
+// injected corpus: 45 bugs) at 1/2/4/8 shards, checks every shard count
+// finds the identical bug set as the 1-shard serial reference, prints the
+// curve, and writes BENCH_parallel.json into the working directory for
+// EXPERIMENTS.md.
+//
+// Knobs: --budget=N / SOFT_BENCH_BUDGET (default 250000, the Table 4
+// reference budget), --dialect=NAME / SOFT_BENCH_DIALECT,
+// --mode=partition|split / SOFT_BENCH_SHARD_MODE (default partition: shards
+// divide the serial case order, so the bug set is identical by construction
+// and the statement totals match the serial run; split resamples with
+// per-shard seeds and needs the full reference budget for set identity).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/dialects/dialects.h"
+#include "src/soft/soft_fuzzer.h"
+
+namespace soft {
+namespace {
+
+struct ScalingPoint {
+  int shards = 0;
+  double millis = 0;
+  double speedup = 1.0;
+  size_t bugs = 0;
+  int statements = 0;
+  bool identical_bug_set = false;
+};
+
+std::set<int> BugIds(const CampaignResult& result) {
+  std::set<int> ids;
+  for (const FoundBug& bug : result.unique_bugs) {
+    ids.insert(bug.crash.bug_id);
+  }
+  return ids;
+}
+
+int RunScaling(const std::string& dialect, int budget, ShardMode mode) {
+  CampaignOptions options;
+  options.seed = 1;
+  options.max_statements = budget;
+  const char* mode_name = mode == ShardMode::kPartitionCases ? "partition" : "split";
+
+  PrintHeader("Parallel sharded campaigns: SOFT on " + dialect + ", budget " +
+              std::to_string(budget) + ", mode " + mode_name + ", K shards");
+  PrintRow({"shards", "wall ms", "speedup", "stmts", "bugs", "identical set"},
+           {8, 12, 10, 10, 8, 14});
+
+  std::vector<ScalingPoint> points;
+  std::set<int> reference_ids;
+  double serial_millis = 0;
+  bool all_identical = true;
+  for (const int shards : {1, 2, 4, 8}) {
+    const auto start = std::chrono::steady_clock::now();
+    const CampaignResult result =
+        RunShardedSoftCampaign(dialect, options, shards, SoftOptions(), mode);
+    const auto end = std::chrono::steady_clock::now();
+
+    ScalingPoint point;
+    point.shards = shards;
+    point.millis =
+        std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(end - start)
+            .count();
+    point.bugs = result.unique_bugs.size();
+    point.statements = result.statements_executed;
+    if (shards == 1) {
+      reference_ids = BugIds(result);
+      serial_millis = point.millis;
+    }
+    point.identical_bug_set = BugIds(result) == reference_ids;
+    point.speedup = point.millis > 0 ? serial_millis / point.millis : 0;
+    all_identical = all_identical && point.identical_bug_set;
+
+    char millis_buf[32], speedup_buf[32];
+    std::snprintf(millis_buf, sizeof(millis_buf), "%.0f", point.millis);
+    std::snprintf(speedup_buf, sizeof(speedup_buf), "%.2fx", point.speedup);
+    PrintRow({std::to_string(shards), millis_buf, speedup_buf,
+              std::to_string(point.statements), std::to_string(point.bugs),
+              point.identical_bug_set ? "yes" : "NO"},
+             {8, 12, 10, 10, 8, 14});
+    points.push_back(point);
+  }
+  std::printf(
+      "(speedup tracks available cores; per-shard corpus collection and\n"
+      " pattern generation are the fixed serial cost, see EXPERIMENTS.md)\n");
+
+  std::ofstream json("BENCH_parallel.json");
+  json << "{\n  \"bench\": \"parallel_scaling\",\n  \"dialect\": \"" << dialect
+       << "\",\n  \"budget\": " << budget << ",\n  \"mode\": \"" << mode_name
+       << "\",\n  \"seed\": 1,\n  \"reference_bugs\": " << reference_ids.size()
+       << ",\n  \"points\": [\n";
+  for (size_t i = 0; i < points.size(); ++i) {
+    const ScalingPoint& p = points[i];
+    json << "    {\"shards\": " << p.shards << ", \"millis\": " << p.millis
+         << ", \"speedup\": " << p.speedup << ", \"statements\": " << p.statements
+         << ", \"bugs\": " << p.bugs
+         << ", \"identical_bug_set\": " << (p.identical_bug_set ? "true" : "false")
+         << "}" << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::printf("wrote BENCH_parallel.json\n");
+
+  if (!all_identical) {
+    std::fprintf(stderr, "FAIL: a sharded run diverged from the serial bug set\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace soft
+
+int main(int argc, char** argv) {
+  std::string dialect = "virtuoso";
+  std::string mode_name = "partition";
+  int budget = 250000;
+  if (const char* env = std::getenv("SOFT_BENCH_DIALECT")) {
+    dialect = env;
+  }
+  if (const char* env = std::getenv("SOFT_BENCH_BUDGET")) {
+    budget = std::atoi(env);
+  }
+  if (const char* env = std::getenv("SOFT_BENCH_SHARD_MODE")) {
+    mode_name = env;
+  }
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--dialect=", 10) == 0) {
+      dialect = argv[i] + 10;
+    } else if (std::strncmp(argv[i], "--budget=", 9) == 0) {
+      budget = std::atoi(argv[i] + 9);
+    } else if (std::strncmp(argv[i], "--mode=", 7) == 0) {
+      mode_name = argv[i] + 7;
+    }
+  }
+  if (mode_name != "partition" && mode_name != "split") {
+    std::fprintf(stderr, "unknown --mode=%s (want partition or split)\n",
+                 mode_name.c_str());
+    return 2;
+  }
+  const soft::ShardMode mode = mode_name == "partition"
+                                   ? soft::ShardMode::kPartitionCases
+                                   : soft::ShardMode::kSplitBudget;
+  return soft::RunScaling(dialect, budget, mode);
+}

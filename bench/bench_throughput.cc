@@ -1,16 +1,39 @@
 // Supporting performance benches: parse / evaluate / generate throughput of
 // the harness machinery (no paper counterpart; documents that the simulated
 // substrate is fast enough for the statement budgets used elsewhere).
+//
+// The sharded-campaign bench honours --threads=N (or SOFT_BENCH_THREADS) for
+// the shard count; the full scaling curve lives in bench_parallel_scaling.
 #include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <cstring>
 
 #include "src/dialects/dialects.h"
 #include "src/soft/expr_collection.h"
 #include "src/soft/patterns.h"
 #include "src/soft/seeds.h"
+#include "src/soft/soft_fuzzer.h"
 #include "src/sqlparser/parser.h"
 
 namespace soft {
+
+int g_bench_threads = 0;  // 0 = unset; resolved by BenchThreads()
+
 namespace {
+
+int BenchThreads() {
+  if (g_bench_threads > 0) {
+    return g_bench_threads;
+  }
+  if (const char* env = std::getenv("SOFT_BENCH_THREADS")) {
+    const int n = std::atoi(env);
+    if (n > 0) {
+      return n;
+    }
+  }
+  return 1;
+}
 
 void BM_ParseSimpleSelect(benchmark::State& state) {
   for (auto _ : state) {
@@ -99,7 +122,38 @@ void BM_FaultCheckMiss(benchmark::State& state) {
 }
 BENCHMARK(BM_FaultCheckMiss);
 
+void BM_ShardedSoftCampaign(benchmark::State& state) {
+  const int shards = BenchThreads();
+  for (auto _ : state) {
+    CampaignOptions options;
+    options.seed = 1;
+    options.max_statements = 8000;
+    const CampaignResult result = RunShardedSoftCampaign("mariadb", options, shards);
+    benchmark::DoNotOptimize(result.statements_executed);
+    state.counters["bugs"] = static_cast<double>(result.unique_bugs.size());
+  }
+  state.counters["shards"] = shards;
+}
+BENCHMARK(BM_ShardedSoftCampaign)->Unit(benchmark::kMillisecond)->Iterations(2);
+
 }  // namespace
 }  // namespace soft
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Strip our own --threads=N flag before google-benchmark sees the args.
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      soft::g_bench_threads = std::atoi(argv[i] + 10);
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

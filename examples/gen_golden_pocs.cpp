@@ -1,0 +1,74 @@
+// Regenerates the golden PoC regression corpus (tests/golden/pocs_*.txt):
+// one reference SOFT campaign per dialect (seed 1, budget 250 000,
+// stop_when_all_bugs_found — the Table 4 configuration), writing one line per
+// injected bug, sorted by bug id:
+//
+//   <bug id>\t<crash type>\t<PoC SQL>
+//
+// tests/golden_poc_test.cc replays these lines directly against a fresh
+// dialect instance, giving a regression net over the whole
+// parse→optimize→execute→fault pipeline without a fuzzing run. Rerun this
+// tool (./build/examples/gen_golden_pocs [output-dir]) only when the fault
+// corpus or the generator intentionally changes, and review the diff.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/dialects/dialects.h"
+#include "src/soft/soft_fuzzer.h"
+
+int main(int argc, char** argv) {
+  const std::string out_dir = argc > 1 ? argv[1] : "tests/golden";
+  bool ok = true;
+  int total = 0;
+  for (const std::string& dialect : soft::AllDialectNames()) {
+    auto db = soft::MakeDialect(dialect);
+    soft::SoftFuzzer fuzzer;
+    soft::CampaignOptions options;
+    options.seed = 1;
+    options.max_statements = 250000;
+    options.stop_when_all_bugs_found = true;
+    soft::CampaignResult result = fuzzer.Run(*db, options);
+
+    const int expected = soft::ExpectedBugCount(dialect);
+    if (static_cast<int>(result.unique_bugs.size()) != expected) {
+      std::fprintf(stderr, "%s: reference campaign found %zu bugs, expected %d\n",
+                   dialect.c_str(), result.unique_bugs.size(), expected);
+      ok = false;
+    }
+    std::sort(result.unique_bugs.begin(), result.unique_bugs.end(),
+              [](const soft::FoundBug& a, const soft::FoundBug& b) {
+                return a.crash.bug_id < b.crash.bug_id;
+              });
+
+    const std::string path = out_dir + "/pocs_" + dialect + ".txt";
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+      return 1;
+    }
+    out << "# Golden PoC corpus for " << dialect
+        << " — regenerate with examples/gen_golden_pocs.\n"
+        << "# Reference SOFT campaign: seed 1, budget 250000. One line per "
+           "injected bug:\n"
+        << "# <bug id>\\t<crash type>\\t<PoC SQL>\n";
+    for (const soft::FoundBug& bug : result.unique_bugs) {
+      if (bug.poc_sql.find('\t') != std::string::npos ||
+          bug.poc_sql.find('\n') != std::string::npos) {
+        std::fprintf(stderr, "%s: PoC for bug %d contains a tab/newline\n",
+                     dialect.c_str(), bug.crash.bug_id);
+        ok = false;
+        continue;
+      }
+      out << bug.crash.bug_id << '\t' << soft::CrashTypeName(bug.crash.crash) << '\t'
+          << bug.poc_sql << '\n';
+      ++total;
+    }
+    std::printf("%-12s %3zu PoCs -> %s\n", dialect.c_str(), result.unique_bugs.size(),
+                path.c_str());
+  }
+  std::printf("total: %d PoCs\n", total);
+  return ok ? 0 : 1;
+}

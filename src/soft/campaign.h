@@ -18,6 +18,17 @@ struct CampaignOptions {
   // Stop early once every injected bug of the dialect has been found
   // (benches turn this off to measure coverage at full budget).
   bool stop_when_all_bugs_found = false;
+
+  // Case-partitioned sharding (ShardMode::kPartitionCases in
+  // src/soft/parallel_runner.h): when shard_count > 1, a fuzzer with a
+  // finite generated case pool executes only the global case indices below
+  // max_statements with index % shard_count == shard_index, all derived
+  // from the same base seed. The union over shards is then exactly the
+  // serial campaign's executed prefix — identical bug set and coverage by
+  // construction. Fuzzers that generate statements on the fly (the
+  // baselines) ignore these fields and are sharded by budget split instead.
+  int shard_index = 0;
+  int shard_count = 1;
 };
 
 struct FoundBug {
@@ -27,6 +38,10 @@ struct FoundBug {
   // ("P1.2", ...); baselines: the tool name.
   std::string found_by;
   int statements_until_found = 0;
+  // Shard that found this witness (0 for serial campaigns). Sharded merges
+  // keep the lowest (shard, statements_until_found) witness per bug so
+  // attribution is independent of thread scheduling.
+  int shard = 0;
 };
 
 struct CampaignResult {
@@ -41,6 +56,12 @@ struct CampaignResult {
   // Coverage snapshot after the campaign (Table 5 / Table 6 quantities).
   size_t functions_triggered = 0;
   size_t branches_covered = 0;
+
+  // Sharding record (see src/soft/parallel_runner.h). Serial campaigns keep
+  // shards == 1 and an empty per-shard breakdown; merged sharded campaigns
+  // report the shard count and each shard's statements_executed.
+  int shards = 1;
+  std::vector<int> shard_statements;
 };
 
 // Common interface so the comparison benches can run the four tools

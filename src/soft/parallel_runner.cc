@@ -1,0 +1,147 @@
+#include "src/soft/parallel_runner.h"
+
+#include <algorithm>
+#include <map>
+#include <thread>
+#include <utility>
+
+#include "src/dialects/dialects.h"
+#include "src/util/rng.h"
+
+namespace soft {
+
+std::vector<ShardPlan> PlanShards(const CampaignOptions& options, int shards,
+                                  ShardMode mode) {
+  const int count = std::max(shards, 1);
+  const int base_budget = options.max_statements / count;
+  const int remainder = options.max_statements % count;
+  std::vector<ShardPlan> plans(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    ShardPlan& plan = plans[static_cast<size_t>(i)];
+    plan.shard = i;
+    plan.options = options;
+    if (mode == ShardMode::kPartitionCases) {
+      // Base seed and full budget: the fuzzer itself restricts execution to
+      // global case indices ≡ i (mod count) below the budget (campaign.h).
+      plan.options.shard_index = i;
+      plan.options.shard_count = count;
+    } else {
+      plan.options.seed = SeedForShard(options.seed, i);
+      plan.options.max_statements = base_budget + (i < remainder ? 1 : 0);
+    }
+  }
+  return plans;
+}
+
+ParallelCampaignRunner::ParallelCampaignRunner(FuzzerFactory make_fuzzer,
+                                               DatabaseFactory make_database)
+    : make_fuzzer_(std::move(make_fuzzer)), make_database_(std::move(make_database)) {}
+
+ParallelCampaignRunner::ShardOutcome ParallelCampaignRunner::RunShard(
+    const ShardPlan& plan) const {
+  ShardOutcome outcome;
+  std::unique_ptr<Database> db = make_database_();
+  std::unique_ptr<Fuzzer> fuzzer = make_fuzzer_();
+  if (db == nullptr || fuzzer == nullptr) {
+    return outcome;
+  }
+  outcome.result = fuzzer->Run(*db, plan.options);
+  for (FoundBug& bug : outcome.result.unique_bugs) {
+    bug.shard = plan.shard;
+  }
+  outcome.coverage = db->coverage();
+  return outcome;
+}
+
+CampaignResult ParallelCampaignRunner::Merge(std::vector<ShardOutcome> outcomes) const {
+  CampaignResult merged;
+  if (outcomes.empty()) {
+    return merged;
+  }
+  merged.tool = outcomes.front().result.tool;
+  merged.dialect = outcomes.front().result.dialect;
+  merged.shards = static_cast<int>(outcomes.size());
+
+  CoverageTracker coverage;
+  std::vector<FoundBug> witnesses;
+  for (const ShardOutcome& outcome : outcomes) {
+    const CampaignResult& r = outcome.result;
+    merged.statements_executed += r.statements_executed;
+    merged.sql_errors += r.sql_errors;
+    merged.crashes_observed += r.crashes_observed;
+    merged.false_positives += r.false_positives;
+    merged.shard_statements.push_back(r.statements_executed);
+    coverage.MergeFrom(outcome.coverage);
+    witnesses.insert(witnesses.end(), r.unique_bugs.begin(), r.unique_bugs.end());
+  }
+
+  // Dedupe by crash identity, keeping the lowest (shard,
+  // statements_until_found) witness. Walking shards in index order means the
+  // first witness seen per bug id is already the winner on `shard`; the
+  // comparison settles ties inside one shard (cannot occur — a shard reports
+  // each bug once) and keeps the rule explicit.
+  std::map<int, FoundBug> best;
+  for (FoundBug& bug : witnesses) {
+    const auto [it, inserted] = best.try_emplace(bug.crash.bug_id, bug);
+    if (!inserted &&
+        std::make_pair(bug.shard, bug.statements_until_found) <
+            std::make_pair(it->second.shard, it->second.statements_until_found)) {
+      it->second = std::move(bug);
+    }
+  }
+  // Report in global discovery order (shard-major, then statement index),
+  // mirroring a serial campaign's discovery-ordered list.
+  merged.unique_bugs.reserve(best.size());
+  for (auto& [id, bug] : best) {
+    merged.unique_bugs.push_back(std::move(bug));
+  }
+  std::sort(merged.unique_bugs.begin(), merged.unique_bugs.end(),
+            [](const FoundBug& a, const FoundBug& b) {
+              return std::make_tuple(a.shard, a.statements_until_found, a.crash.bug_id) <
+                     std::make_tuple(b.shard, b.statements_until_found, b.crash.bug_id);
+            });
+
+  merged.functions_triggered = coverage.TriggeredFunctionCount();
+  merged.branches_covered = coverage.CoveredBranchCount();
+  return merged;
+}
+
+CampaignResult ParallelCampaignRunner::Run(const CampaignOptions& options, int shards,
+                                           ShardMode mode) const {
+  const std::vector<ShardPlan> plans = PlanShards(options, shards, mode);
+  std::vector<ShardOutcome> outcomes(plans.size());
+  if (plans.size() == 1) {
+    outcomes[0] = RunShard(plans[0]);
+    return Merge(std::move(outcomes));
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(plans.size());
+  for (size_t i = 0; i < plans.size(); ++i) {
+    workers.emplace_back(
+        [this, &plans, &outcomes, i] { outcomes[i] = RunShard(plans[i]); });
+  }
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+  return Merge(std::move(outcomes));
+}
+
+CampaignResult ParallelCampaignRunner::RunSerial(const CampaignOptions& options,
+                                                 int shards, ShardMode mode) const {
+  const std::vector<ShardPlan> plans = PlanShards(options, shards, mode);
+  std::vector<ShardOutcome> outcomes(plans.size());
+  for (size_t i = 0; i < plans.size(); ++i) {
+    outcomes[i] = RunShard(plans[i]);
+  }
+  return Merge(std::move(outcomes));
+}
+
+CampaignResult RunShardedCampaign(const ParallelCampaignRunner::FuzzerFactory& make_fuzzer,
+                                  const std::string& dialect,
+                                  const CampaignOptions& options, int shards,
+                                  ShardMode mode) {
+  ParallelCampaignRunner runner(make_fuzzer, [&dialect] { return MakeDialect(dialect); });
+  return runner.Run(options, shards, mode);
+}
+
+}  // namespace soft

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "src/soft/expr_collection.h"
+#include "src/soft/parallel_runner.h"
 #include "src/soft/seeds.h"
 #include "src/util/rng.h"
 
@@ -77,12 +78,24 @@ CampaignResult SoftFuzzer::Run(Database& db, const CampaignOptions& options) {
     std::swap(cases[i - 1], cases[j]);
   }
 
-  // Step 3: execution and crash detection.
+  // Step 3: execution and crash detection. A case-partitioned shard
+  // (options.shard_count > 1, see campaign.h) executes the interleave of the
+  // global case order: indices below the budget with
+  // index % shard_count == shard_index. The serial campaign is the
+  // shard_count == 1 special case of the same loop, so the union over K
+  // shards is exactly the serial campaign's executed prefix.
+  const size_t shard_count = options.shard_count > 1
+                                 ? static_cast<size_t>(options.shard_count)
+                                 : size_t{1};
+  const size_t shard_index =
+      options.shard_index > 0 ? static_cast<size_t>(options.shard_index) : size_t{0};
+  const size_t budget = options.max_statements > 0
+                            ? static_cast<size_t>(options.max_statements)
+                            : size_t{0};
   std::set<int> found_ids;
-  for (const GeneratedCase& test_case : cases) {
-    if (result.statements_executed >= options.max_statements) {
-      break;
-    }
+  for (size_t case_index = shard_index;
+       case_index < cases.size() && case_index < budget; case_index += shard_count) {
+    const GeneratedCase& test_case = cases[case_index];
     ++result.statements_executed;
     const StatementResult r = db.Execute(test_case.sql);
     if (r.crashed()) {
@@ -115,6 +128,14 @@ CampaignResult SoftFuzzer::Run(Database& db, const CampaignOptions& options) {
   result.functions_triggered = db.coverage().TriggeredFunctionCount();
   result.branches_covered = db.coverage().CoveredBranchCount();
   return result;
+}
+
+CampaignResult RunShardedSoftCampaign(const std::string& dialect,
+                                      const CampaignOptions& options, int shards,
+                                      SoftOptions soft_options, ShardMode mode) {
+  return RunShardedCampaign(
+      [soft_options] { return std::make_unique<SoftFuzzer>(soft_options); }, dialect,
+      options, shards, mode);
 }
 
 }  // namespace soft

@@ -1,5 +1,7 @@
 #include "src/sqlfunc/function.h"
 
+#include <mutex>
+
 #include "src/util/str_util.h"
 
 namespace soft {
@@ -92,19 +94,35 @@ void FunctionRegistry::Remove(std::string_view name) {
   functions_.erase(AsciiUpper(name));
 }
 
+const FunctionRegistry& BuiltinRegistry() {
+  // Not a magic static: the prototype is reachable from every campaign shard
+  // thread, so the one-time category registration is call_once-guarded and
+  // the storage is never torn down (immutable after init).
+  static std::once_flag once;
+  static const FunctionRegistry* prototype = nullptr;
+  std::call_once(once, [] {
+    auto* registry = new FunctionRegistry();
+    RegisterStringFunctions(*registry);
+    RegisterMathFunctions(*registry);
+    RegisterDateFunctions(*registry);
+    RegisterJsonFunctions(*registry);
+    RegisterXmlFunctions(*registry);
+    RegisterSpatialFunctions(*registry);
+    RegisterSystemFunctions(*registry);
+    RegisterConditionFunctions(*registry);
+    RegisterCastingFunctions(*registry);
+    RegisterArrayMapFunctions(*registry);
+    RegisterSequenceFunctions(*registry);
+    RegisterAggregateFunctions(*registry);
+    prototype = registry;
+  });
+  return *prototype;
+}
+
 void RegisterAllBuiltins(FunctionRegistry& registry) {
-  RegisterStringFunctions(registry);
-  RegisterMathFunctions(registry);
-  RegisterDateFunctions(registry);
-  RegisterJsonFunctions(registry);
-  RegisterXmlFunctions(registry);
-  RegisterSpatialFunctions(registry);
-  RegisterSystemFunctions(registry);
-  RegisterConditionFunctions(registry);
-  RegisterCastingFunctions(registry);
-  RegisterArrayMapFunctions(registry);
-  RegisterSequenceFunctions(registry);
-  RegisterAggregateFunctions(registry);
+  for (const FunctionDef* def : BuiltinRegistry().All()) {
+    registry.Register(*def);
+  }
 }
 
 }  // namespace soft

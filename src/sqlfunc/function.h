@@ -175,6 +175,13 @@ void RegisterSequenceFunctions(FunctionRegistry& registry);
 void RegisterAggregateFunctions(FunctionRegistry& registry);
 void RegisterAllBuiltins(FunctionRegistry& registry);
 
+// The immutable builtin-catalog prototype: all category registrations run
+// exactly once (std::call_once-guarded, so concurrent first-time Database
+// construction from campaign shards is safe) and the result is shared
+// read-only. RegisterAllBuiltins copies it into a per-instance registry,
+// which dialects then prune/override independently.
+const FunctionRegistry& BuiltinRegistry();
+
 }  // namespace soft
 
 #endif  // SRC_SQLFUNC_FUNCTION_H_

@@ -1,0 +1,93 @@
+// Golden PoC regression corpus: the 132 PoC SQL strings logged by a
+// reference SOFT campaign (one per injected Table 4 bug, checked in under
+// tests/golden/) must each still trigger their recorded bug id and crash
+// type when replayed directly. This is the fast regression net over the
+// parse→optimize→execute→fault pipeline — it catches a silently defanged
+// fault spec or a generator/engine regression without needing a fuzzing run.
+// Regenerate the corpus with examples/gen_golden_pocs when the fault corpus
+// intentionally changes.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/dialects/dialects.h"
+
+#ifndef SOFT_GOLDEN_DIR
+#error "SOFT_GOLDEN_DIR must be defined to the tests/golden directory"
+#endif
+
+namespace soft {
+namespace {
+
+struct GoldenPoc {
+  int bug_id = 0;
+  std::string crash_type;  // short name: "NPD", "SEGV", ...
+  std::string sql;
+};
+
+std::vector<GoldenPoc> LoadGoldenPocs(const std::string& dialect) {
+  const std::string path = std::string(SOFT_GOLDEN_DIR) + "/pocs_" + dialect + ".txt";
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open()) << "missing golden corpus: " << path;
+  std::vector<GoldenPoc> pocs;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    const size_t first_tab = line.find('\t');
+    const size_t second_tab =
+        first_tab == std::string::npos ? std::string::npos : line.find('\t', first_tab + 1);
+    EXPECT_NE(second_tab, std::string::npos) << "malformed golden line: " << line;
+    if (second_tab == std::string::npos) {
+      continue;
+    }
+    GoldenPoc poc;
+    poc.bug_id = std::stoi(line.substr(0, first_tab));
+    poc.crash_type = line.substr(first_tab + 1, second_tab - first_tab - 1);
+    poc.sql = line.substr(second_tab + 1);
+    pocs.push_back(std::move(poc));
+  }
+  return pocs;
+}
+
+class GoldenPocTest : public testing::TestWithParam<std::string> {};
+
+TEST_P(GoldenPocTest, EveryPocStillTriggersItsRecordedBug) {
+  const std::vector<GoldenPoc> pocs = LoadGoldenPocs(GetParam());
+  ASSERT_EQ(static_cast<int>(pocs.size()), ExpectedBugCount(GetParam()))
+      << GetParam() << ": corpus must hold one PoC per injected bug";
+  auto db = MakeDialect(GetParam());
+  ASSERT_NE(db, nullptr);
+  std::set<int> triggered;
+  for (const GoldenPoc& poc : pocs) {
+    const StatementResult r = db->Execute(poc.sql);
+    ASSERT_TRUE(r.crashed()) << GetParam() << ": golden PoC no longer crashes: "
+                             << poc.sql;
+    EXPECT_EQ(r.crash->bug_id, poc.bug_id) << poc.sql;
+    EXPECT_EQ(CrashTypeName(r.crash->crash), poc.crash_type) << poc.sql;
+    triggered.insert(r.crash->bug_id);
+  }
+  // The corpus covers every distinct injected bug, not one bug many times.
+  EXPECT_EQ(triggered.size(), pocs.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDialects, GoldenPocTest,
+                         testing::ValuesIn(AllDialectNames()),
+                         [](const testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+TEST(GoldenPocCorpus, CoversThePapers132Bugs) {
+  int total = 0;
+  for (const std::string& dialect : AllDialectNames()) {
+    total += static_cast<int>(LoadGoldenPocs(dialect).size());
+  }
+  EXPECT_EQ(total, 132);
+}
+
+}  // namespace
+}  // namespace soft
