@@ -14,7 +14,6 @@
 // divide the serial case order, so the bug set is identical by construction
 // and the statement totals match the serial run; split resamples with
 // per-shard seeds and needs the full reference budget for set identity).
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -26,6 +25,7 @@
 #include "bench/bench_util.h"
 #include "src/dialects/dialects.h"
 #include "src/soft/soft_fuzzer.h"
+#include "src/telemetry/telemetry.h"
 
 namespace soft {
 namespace {
@@ -63,16 +63,13 @@ int RunScaling(const std::string& dialect, int budget, ShardMode mode) {
   double serial_millis = 0;
   bool all_identical = true;
   for (const int shards : {1, 2, 4, 8}) {
-    const auto start = std::chrono::steady_clock::now();
+    const telemetry::WallTimer timer;
     const CampaignResult result =
         RunShardedSoftCampaign(dialect, options, shards, SoftOptions(), mode);
-    const auto end = std::chrono::steady_clock::now();
 
     ScalingPoint point;
     point.shards = shards;
-    point.millis =
-        std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(end - start)
-            .count();
+    point.millis = timer.ElapsedMs();
     point.bugs = result.unique_bugs.size();
     point.statements = result.statements_executed;
     if (shards == 1) {

@@ -4,10 +4,15 @@
 //
 // The sharded-campaign bench honours --threads=N (or SOFT_BENCH_THREADS) for
 // the shard count; the full scaling curve lives in bench_parallel_scaling.
+// --telemetry=<path> writes the sharded campaign's NDJSON event journal
+// (docs/OBSERVABILITY.md) after its final iteration.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
+#include <utility>
 
 #include "src/dialects/dialects.h"
 #include "src/soft/expr_collection.h"
@@ -15,10 +20,13 @@
 #include "src/soft/seeds.h"
 #include "src/soft/soft_fuzzer.h"
 #include "src/sqlparser/parser.h"
+#include "src/telemetry/journal.h"
+#include "src/telemetry/telemetry.h"
 
 namespace soft {
 
-int g_bench_threads = 0;  // 0 = unset; resolved by BenchThreads()
+int g_bench_threads = 0;           // 0 = unset; resolved by BenchThreads()
+std::string g_telemetry_path;      // set by --telemetry=<path>
 
 namespace {
 
@@ -124,15 +132,31 @@ BENCHMARK(BM_FaultCheckMiss);
 
 void BM_ShardedSoftCampaign(benchmark::State& state) {
   const int shards = BenchThreads();
+  CampaignOptions options;
+  options.seed = 1;
+  options.max_statements = 8000;
+  CampaignResult last;
+  uint64_t last_wall_ns = 0;
   for (auto _ : state) {
-    CampaignOptions options;
-    options.seed = 1;
-    options.max_statements = 8000;
-    const CampaignResult result = RunShardedSoftCampaign("mariadb", options, shards);
+    const telemetry::WallTimer timer;
+    CampaignResult result = RunShardedSoftCampaign("mariadb", options, shards);
+    last_wall_ns = timer.ElapsedNs();
     benchmark::DoNotOptimize(result.statements_executed);
     state.counters["bugs"] = static_cast<double>(result.unique_bugs.size());
+    last = std::move(result);
   }
   state.counters["shards"] = shards;
+  if (!g_telemetry_path.empty()) {
+    const Status status =
+        telemetry::WriteCampaignJournalFile(g_telemetry_path, options, last,
+                                            last_wall_ns);
+    if (status.ok()) {
+      std::printf("wrote NDJSON journal to %s\n", g_telemetry_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write journal: %s\n",
+                   status.message().c_str());
+    }
+  }
 }
 BENCHMARK(BM_ShardedSoftCampaign)->Unit(benchmark::kMillisecond)->Iterations(2);
 
@@ -140,11 +164,13 @@ BENCHMARK(BM_ShardedSoftCampaign)->Unit(benchmark::kMillisecond)->Iterations(2);
 }  // namespace soft
 
 int main(int argc, char** argv) {
-  // Strip our own --threads=N flag before google-benchmark sees the args.
+  // Strip our own flags before google-benchmark sees the args.
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       soft::g_bench_threads = std::atoi(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--telemetry=", 12) == 0) {
+      soft::g_telemetry_path = argv[i] + 12;
     } else {
       argv[kept++] = argv[i];
     }

@@ -2,18 +2,34 @@
 // collect expressions, generate boundary arguments with all ten patterns,
 // execute, and print a bug report per finding.
 //
-//   $ ./examples/find_bugs [dialect] [budget]
+//   $ ./examples/find_bugs [dialect] [budget] [--telemetry=journal.ndjson]
 //   $ ./examples/find_bugs virtuoso 100000
+//
+// --telemetry=<path> writes the campaign's NDJSON event journal (see
+// docs/OBSERVABILITY.md) after the run.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <map>
+#include <vector>
 
 #include "src/dialects/dialects.h"
 #include "src/soft/soft_fuzzer.h"
+#include "src/telemetry/journal.h"
+#include "src/telemetry/telemetry.h"
 
 int main(int argc, char** argv) {
-  const std::string dialect = argc > 1 ? argv[1] : "virtuoso";
-  const int budget = argc > 2 ? std::atoi(argv[2]) : 150000;
+  std::string telemetry_path;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--telemetry=", 12) == 0) {
+      telemetry_path = argv[i] + 12;
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  const std::string dialect = !positional.empty() ? positional[0] : "virtuoso";
+  const int budget = positional.size() > 1 ? std::atoi(positional[1]) : 150000;
 
   std::unique_ptr<soft::Database> db = soft::MakeDialect(dialect);
   if (db == nullptr) {
@@ -35,7 +51,9 @@ int main(int argc, char** argv) {
   soft::CampaignOptions options;
   options.max_statements = budget;
   options.stop_when_all_bugs_found = true;
+  const soft::telemetry::WallTimer campaign_timer;
   const soft::CampaignResult result = fuzzer.Run(*db, options);
+  const uint64_t campaign_wall_ns = campaign_timer.ElapsedNs();
 
   std::printf("campaign finished: %d statements (%d SQL errors, %d crashes observed, "
               "%d resource-limit false positives)\n\n",
@@ -69,5 +87,16 @@ int main(int argc, char** argv) {
     std::printf("%s:%d  ", crash.c_str(), count);
   }
   std::printf("\n");
+
+  if (!telemetry_path.empty()) {
+    const soft::Status status = soft::telemetry::WriteCampaignJournalFile(
+        telemetry_path, options, result, campaign_wall_ns);
+    if (!status.ok()) {
+      std::fprintf(stderr, "failed to write journal: %s\n",
+                   status.message().c_str());
+      return 1;
+    }
+    std::printf("wrote NDJSON journal to %s\n", telemetry_path.c_str());
+  }
   return 0;
 }

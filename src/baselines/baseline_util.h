@@ -6,34 +6,44 @@
 #include <string>
 
 #include "src/soft/campaign.h"
+#include "src/telemetry/telemetry.h"
 #include "src/util/rng.h"
 
 namespace soft {
 
 // Executes one statement and folds the outcome into the campaign result.
+// Telemetry: the baselines generate statements on the fly, so `found_by`
+// (the tool name) is the counter key and generated == executed.
 inline void ExecuteAndRecord(Database& db, const std::string& sql,
                              const std::string& found_by, CampaignResult& result,
                              std::set<int>& found_ids) {
   ++result.statements_executed;
+  telemetry::CountGenerated(found_by, 1);
+  telemetry::CountExecuted(found_by);
   const StatementResult r = db.Execute(sql);
   if (r.crashed()) {
     ++result.crashes_observed;
+    telemetry::CountCrash(found_by);
     if (found_ids.insert(r.crash->bug_id).second) {
+      telemetry::CountBugDeduped(found_by);
       FoundBug bug;
       bug.crash = *r.crash;
       bug.poc_sql = sql;
       bug.found_by = found_by;
       bug.statements_until_found = result.statements_executed;
+      bug.found_wall_ns = static_cast<int64_t>(telemetry::WallSinceCollectorStartNs());
       result.unique_bugs.push_back(std::move(bug));
     }
     return;
   }
   if (r.status.code() == StatusCode::kResourceExhausted) {
     ++result.false_positives;
+    telemetry::CountFalsePositive(found_by);
     return;
   }
   if (!r.ok()) {
     ++result.sql_errors;
+    telemetry::CountSqlError(found_by);
   }
 }
 

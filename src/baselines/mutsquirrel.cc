@@ -87,6 +87,7 @@ CampaignResult MutSquirrel::Run(Database& db, const CampaignOptions& options) {
   CampaignResult result;
   result.tool = name();
   result.dialect = db.config().name;
+  const telemetry::ScopedCollector telem(&result.telemetry);
   Rng rng(options.seed ^ 0x535155ull);
   std::set<int> found_ids;
 

@@ -28,6 +28,7 @@ CampaignResult PqsGen::Run(Database& db, const CampaignOptions& options) {
   CampaignResult result;
   result.tool = name();
   result.dialect = db.config().name;
+  const telemetry::ScopedCollector telem(&result.telemetry);
   Rng rng(options.seed ^ 0x505153ull);
   std::set<int> found_ids;
 

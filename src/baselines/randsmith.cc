@@ -69,6 +69,7 @@ CampaignResult RandSmith::Run(Database& db, const CampaignOptions& options) {
   CampaignResult result;
   result.tool = name();
   result.dialect = db.config().name;
+  const telemetry::ScopedCollector telem(&result.telemetry);
   Rng rng(options.seed ^ 0x536d697468ull);
   std::set<int> found_ids;
 

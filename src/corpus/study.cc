@@ -3,6 +3,8 @@
 #include <cassert>
 #include <set>
 
+#include "src/telemetry/telemetry.h"
+
 namespace soft {
 namespace {
 
@@ -62,6 +64,10 @@ constexpr int kLiteralCraftedFormat = 41;
 }  // namespace
 
 BugStudy::BugStudy() {
+  // Corpus construction cost flows into the process-wide named histogram
+  // (see the timer destructor at the end of this constructor) — the same
+  // telemetry path the engine stages use, not a private chrono stopwatch.
+  const telemetry::WallTimer build_timer;
   constexpr int kTotal = 318;
   bugs_.resize(kTotal);
 
@@ -182,6 +188,7 @@ BugStudy::BugStudy() {
     }
     assert(literal_i == literal_pool.size());
   }
+  telemetry::RecordNamedLatency("study_corpus_build", build_timer.ElapsedNs());
 }
 
 const BugStudy& BugStudy::Instance() {

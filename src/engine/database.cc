@@ -3,6 +3,7 @@
 #include "src/engine/database.h"
 
 #include "src/engine/exec_internal.h"
+#include "src/telemetry/telemetry.h"
 #include "src/util/str_util.h"
 
 namespace soft {
@@ -109,22 +110,29 @@ StatementResult Database::Execute(std::string_view sql) {
   StatementResult result;
 
   // --- Parse stage ---------------------------------------------------------
+  // Telemetry hook: the parse-stage histogram covers the parse-stage fault
+  // probe plus lexing/parsing proper. A parse error or parse-stage crash
+  // contributes a parse sample and nothing downstream.
   result.stage = Stage::kParse;
-  // Parse-stage injected bugs key on properties of the raw statement text.
+  Statement stmt;
   {
-    ValueList probe = {Value::Str(std::string(sql))};
-    if (auto crash = faults_.CheckFunction("PARSER", probe, 0, false, Stage::kParse)) {
-      result.status = CrashStatus(crash->Summary());
-      result.crash = std::move(*crash);
+    const telemetry::ScopedStageTimer parse_timer(Stage::kParse);
+    // Parse-stage injected bugs key on properties of the raw statement text.
+    {
+      ValueList probe = {Value::Str(std::string(sql))};
+      if (auto crash = faults_.CheckFunction("PARSER", probe, 0, false, Stage::kParse)) {
+        result.status = CrashStatus(crash->Summary());
+        result.crash = std::move(*crash);
+        return result;
+      }
+    }
+    Result<Statement> parsed = ParseStatement(sql);
+    if (!parsed.ok()) {
+      result.status = parsed.status();
       return result;
     }
+    stmt = std::move(parsed).value();
   }
-  Result<Statement> parsed = ParseStatement(sql);
-  if (!parsed.ok()) {
-    result.status = parsed.status();
-    return result;
-  }
-  Statement stmt = std::move(parsed).value();
 
   StatementResult exec = ExecuteStatement(stmt);
   return exec;
@@ -136,38 +144,46 @@ StatementResult Database::ExecuteStatement(const Statement& stmt_in) {
   ec.db = this;
 
   // --- Optimize stage ------------------------------------------------------
+  // Telemetry hook: the optimize histogram covers tree cloning plus the
+  // optimizer pass — the work a statement costs before execution starts.
   result.stage = Stage::kOptimize;
   ec.stage = Stage::kOptimize;
-  // The optimizer may rewrite the tree; clone SELECTs, copy others.
   Statement stmt;
-  if (stmt_in.is_select()) {
-    stmt.node = stmt_in.select()->Clone();
-  } else if (const auto* create = std::get_if<CreateTableStmt>(&stmt_in.node)) {
-    stmt.node = *create;
-  } else if (const auto* drop = std::get_if<DropTableStmt>(&stmt_in.node)) {
-    stmt.node = *drop;
-  } else if (const auto* insert = std::get_if<InsertStmt>(&stmt_in.node)) {
-    InsertStmt copy;
-    copy.table = insert->table;
-    copy.columns = insert->columns;
-    for (const std::vector<ExprPtr>& row : insert->rows) {
-      std::vector<ExprPtr> row_copy;
-      for (const ExprPtr& v : row) {
-        row_copy.push_back(v->Clone());
+  {
+    const telemetry::ScopedStageTimer optimize_timer(Stage::kOptimize);
+    // The optimizer may rewrite the tree; clone SELECTs, copy others.
+    if (stmt_in.is_select()) {
+      stmt.node = stmt_in.select()->Clone();
+    } else if (const auto* create = std::get_if<CreateTableStmt>(&stmt_in.node)) {
+      stmt.node = *create;
+    } else if (const auto* drop = std::get_if<DropTableStmt>(&stmt_in.node)) {
+      stmt.node = *drop;
+    } else if (const auto* insert = std::get_if<InsertStmt>(&stmt_in.node)) {
+      InsertStmt copy;
+      copy.table = insert->table;
+      copy.columns = insert->columns;
+      for (const std::vector<ExprPtr>& row : insert->rows) {
+        std::vector<ExprPtr> row_copy;
+        for (const ExprPtr& v : row) {
+          row_copy.push_back(v->Clone());
+        }
+        copy.rows.push_back(std::move(row_copy));
       }
-      copy.rows.push_back(std::move(row_copy));
+      stmt.node = std::move(copy);
     }
-    stmt.node = std::move(copy);
-  }
 
-  const Status opt_status = OptimizeStatement(ec, stmt);
-  if (!opt_status.ok()) {
-    result.status = opt_status;
-    result.crash = std::move(ec.crash);
-    return result;
+    const Status opt_status = OptimizeStatement(ec, stmt);
+    if (!opt_status.ok()) {
+      result.status = opt_status;
+      result.crash = std::move(ec.crash);
+      return result;
+    }
   }
 
   // --- Execute stage -------------------------------------------------------
+  // Telemetry hook: the execute histogram covers evaluation/catalog work up
+  // to whichever return path the statement takes.
+  const telemetry::ScopedStageTimer execute_timer(Stage::kExecute);
   result.stage = Stage::kExecute;
   ec.stage = Stage::kExecute;
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/engine/database.h"
+#include "src/telemetry/telemetry.h"
 
 namespace soft {
 
@@ -42,6 +43,11 @@ struct FoundBug {
   // keep the lowest (shard, statements_until_found) witness per bug so
   // attribution is independent of thread scheduling.
   int shard = 0;
+  // Wall-clock nanoseconds from campaign start to this first witness,
+  // stamped when telemetry is recording (0 otherwise). Observational only —
+  // exported to the NDJSON journal, never part of the determinism contract
+  // and never compared by the bit-identical-merge tests.
+  int64_t found_wall_ns = 0;
 };
 
 struct CampaignResult {
@@ -62,6 +68,15 @@ struct CampaignResult {
   // report the shard count and each shard's statements_executed.
   int shards = 1;
   std::vector<int> shard_statements;
+
+  // Observability snapshot (src/telemetry): stage-latency histograms and
+  // per-pattern counters recorded during this campaign. Serial campaigns
+  // fill `telemetry` directly; merged sharded campaigns carry the
+  // shard-index-ordered per-shard snapshots in `shard_telemetry` and their
+  // deterministic sum in `telemetry`. Empty in -DSOFT_TELEMETRY=OFF builds
+  // or under telemetry::SetRuntimeEnabled(false).
+  telemetry::CampaignTelemetry telemetry;
+  std::vector<telemetry::CampaignTelemetry> shard_telemetry;
 };
 
 // Common interface so the comparison benches can run the four tools

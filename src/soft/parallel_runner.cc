@@ -71,6 +71,12 @@ CampaignResult ParallelCampaignRunner::Merge(std::vector<ShardOutcome> outcomes)
     merged.crashes_observed += r.crashes_observed;
     merged.false_positives += r.false_positives;
     merged.shard_statements.push_back(r.statements_executed);
+    // Telemetry merges by per-bucket / per-counter sum, walking shards in
+    // index order; the merged snapshot is a pure function of the shard
+    // results, never of thread scheduling. Shard-local snapshots are kept
+    // alongside so callers can attribute cost per shard.
+    merged.telemetry.MergeFrom(r.telemetry);
+    merged.shard_telemetry.push_back(r.telemetry);
     coverage.MergeFrom(outcome.coverage);
     witnesses.insert(witnesses.end(), r.unique_bugs.begin(), r.unique_bugs.end());
   }

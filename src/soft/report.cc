@@ -1,6 +1,44 @@
 #include "src/soft/report.h"
 
+#include <cstdio>
+
+#include "src/telemetry/telemetry.h"
+
 namespace soft {
+namespace {
+
+std::string FormatUs(double us) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", us);
+  return buf;
+}
+
+// Renders the recorded stage latencies and per-pattern counters. All timing
+// in reports flows through the telemetry histograms — there is no second,
+// ad-hoc chrono code path.
+std::string RenderTelemetrySection(const telemetry::CampaignTelemetry& telemetry) {
+  std::string out;
+  out += "## Telemetry\n\n";
+  out += "| stage | samples | mean µs | max µs |\n|---|---|---|---|\n";
+  for (size_t i = 0; i < telemetry::kStageCount; ++i) {
+    const telemetry::LatencyHistogram& h = telemetry.stage_latency[i];
+    out += "| " + std::string(telemetry::kStageKeys[i]) + " | " +
+           std::to_string(h.samples) + " | " + FormatUs(h.MeanUs()) + " | " +
+           FormatUs(static_cast<double>(h.max_ns) / 1000.0) + " |\n";
+  }
+  out += "\n| pattern | generated | executed | crashes | bugs | sql errors | "
+         "false positives |\n|---|---|---|---|---|---|---|\n";
+  for (const auto& [pattern, c] : telemetry.patterns) {
+    out += "| " + pattern + " | " + std::to_string(c.generated) + " | " +
+           std::to_string(c.executed) + " | " + std::to_string(c.crashes) + " | " +
+           std::to_string(c.bugs_deduped) + " | " + std::to_string(c.sql_errors) +
+           " | " + std::to_string(c.false_positives) + " |\n";
+  }
+  out += "\n";
+  return out;
+}
+
+}  // namespace
 
 std::string RenderBugReport(const Database& db, const FoundBug& bug) {
   std::string out;
@@ -31,6 +69,9 @@ std::string RenderCampaignReport(const Database& db, const CampaignResult& resul
          std::to_string(result.false_positives) + " |\n";
   out += "| functions triggered | " + std::to_string(result.functions_triggered) + " |\n";
   out += "| branches covered | " + std::to_string(result.branches_covered) + " |\n\n";
+  if (!result.telemetry.empty()) {
+    out += RenderTelemetrySection(result.telemetry);
+  }
   for (const FoundBug& bug : result.unique_bugs) {
     out += RenderBugReport(db, bug);
     out += "\n---\n\n";

@@ -1,11 +1,13 @@
 #include "src/soft/soft_fuzzer.h"
 
 #include <algorithm>
+#include <map>
 #include <set>
 
 #include "src/soft/expr_collection.h"
 #include "src/soft/parallel_runner.h"
 #include "src/soft/seeds.h"
+#include "src/telemetry/telemetry.h"
 #include "src/util/rng.h"
 
 namespace soft {
@@ -16,6 +18,11 @@ CampaignResult SoftFuzzer::Run(Database& db, const CampaignOptions& options) {
   CampaignResult result;
   result.tool = name();
   result.dialect = db.config().name;
+  // Campaign-scoped telemetry: stage latencies recorded by the engine and
+  // the per-pattern counters below land in result.telemetry. Observational
+  // only — no RNG draw or control-flow decision reads telemetry state, so
+  // results are bit-identical with recording on or off.
+  const telemetry::ScopedCollector telem(&result.telemetry);
 
   const size_t expected_bugs = db.faults().bug_count();
   Rng rng(options.seed);
@@ -78,6 +85,21 @@ CampaignResult SoftFuzzer::Run(Database& db, const CampaignOptions& options) {
     std::swap(cases[i - 1], cases[j]);
   }
 
+  // Per-pattern pool census (aggregated locally so the hook fires once per
+  // pattern, not once per case). In partition-sharded runs every shard
+  // generates this full pool, so merged `generated` counts are K× the
+  // serial pool — the partition mode's redundant-generation cost, made
+  // visible.
+  if (telemetry::CollectorInstalled()) {
+    std::map<std::string, uint64_t> pool_census;
+    for (const GeneratedCase& test_case : cases) {
+      ++pool_census[test_case.pattern];
+    }
+    for (const auto& [pattern, count] : pool_census) {
+      telemetry::CountGenerated(pattern, count);
+    }
+  }
+
   // Step 3: execution and crash detection. A case-partitioned shard
   // (options.shard_count > 1, see campaign.h) executes the interleave of the
   // global case order: indices below the budget with
@@ -97,15 +119,20 @@ CampaignResult SoftFuzzer::Run(Database& db, const CampaignOptions& options) {
        case_index < cases.size() && case_index < budget; case_index += shard_count) {
     const GeneratedCase& test_case = cases[case_index];
     ++result.statements_executed;
+    telemetry::CountExecuted(test_case.pattern);
     const StatementResult r = db.Execute(test_case.sql);
     if (r.crashed()) {
       ++result.crashes_observed;
+      telemetry::CountCrash(test_case.pattern);
       if (found_ids.insert(r.crash->bug_id).second) {
+        telemetry::CountBugDeduped(test_case.pattern);
         FoundBug bug;
         bug.crash = *r.crash;
         bug.poc_sql = test_case.sql;
         bug.found_by = test_case.pattern;
         bug.statements_until_found = result.statements_executed;
+        bug.found_wall_ns =
+            static_cast<int64_t>(telemetry::WallSinceCollectorStartNs());
         result.unique_bugs.push_back(std::move(bug));
       }
       if (options.stop_when_all_bugs_found && found_ids.size() >= expected_bugs) {
@@ -118,10 +145,12 @@ CampaignResult SoftFuzzer::Run(Database& db, const CampaignOptions& options) {
       // as a crash by the detector, later triaged as a false positive
       // (Section 7.3's REPEAT('a', 9999999999) class).
       ++result.false_positives;
+      telemetry::CountFalsePositive(test_case.pattern);
       continue;
     }
     if (!r.ok()) {
       ++result.sql_errors;
+      telemetry::CountSqlError(test_case.pattern);
     }
   }
 

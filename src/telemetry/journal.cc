@@ -1,0 +1,335 @@
+// NDJSON journal writing/replay and the telemetry JSON serialization. This
+// translation unit is compiled in every configuration (it has no campaign
+// runtime cost); only the recording hooks in telemetry.cc are gated by
+// SOFT_TELEMETRY.
+#include "src/telemetry/journal.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "src/telemetry/telemetry.h"
+
+namespace soft {
+namespace telemetry {
+
+uint64_t MonotonicNowNs() {
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<uint64_t>(ts.tv_nsec);
+}
+
+namespace {
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string FormatMs(uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(ns) / 1e6);
+  return buf;
+}
+
+void AppendHistogramJson(std::string& out, const LatencyHistogram& h) {
+  out += "{\"samples\":" + std::to_string(h.samples);
+  out += ",\"total_ns\":" + std::to_string(h.total_ns);
+  out += ",\"max_ns\":" + std::to_string(h.max_ns);
+  out += ",\"buckets\":[";
+  for (size_t i = 0; i < LatencyHistogram::kBucketCount; ++i) {
+    if (i != 0) {
+      out += ',';
+    }
+    out += std::to_string(h.buckets[i]);
+  }
+  out += "]}";
+}
+
+// --- Minimal parser for the journal's own flat JSON lines -----------------
+//
+// Handles exactly what WriteCampaignJournal emits: one flat object per line,
+// string values with \-escapes, integer/double number values. Not a general
+// JSON parser.
+
+// Locates the value of `key` in `line` starting after the "key": prefix.
+// Returns npos when absent.
+size_t ValueStart(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t at = line.find(needle);
+  if (at == std::string::npos) {
+    return std::string::npos;
+  }
+  size_t pos = at + needle.size();
+  while (pos < line.size() && line[pos] == ' ') {
+    ++pos;
+  }
+  return pos;
+}
+
+bool ExtractString(const std::string& line, const std::string& key, std::string& out) {
+  size_t pos = ValueStart(line, key);
+  if (pos == std::string::npos || pos >= line.size() || line[pos] != '"') {
+    return false;
+  }
+  ++pos;
+  out.clear();
+  while (pos < line.size() && line[pos] != '"') {
+    if (line[pos] == '\\' && pos + 1 < line.size()) {
+      ++pos;
+      switch (line[pos]) {
+        case 'n':
+          out += '\n';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        default:
+          out += line[pos];
+      }
+    } else {
+      out += line[pos];
+    }
+    ++pos;
+  }
+  return pos < line.size();
+}
+
+bool ExtractNumberToken(const std::string& line, const std::string& key,
+                        std::string& out) {
+  const size_t pos = ValueStart(line, key);
+  if (pos == std::string::npos) {
+    return false;
+  }
+  size_t end = pos;
+  while (end < line.size() && line[end] != ',' && line[end] != '}') {
+    ++end;
+  }
+  out = line.substr(pos, end - pos);
+  return !out.empty();
+}
+
+bool ExtractInt(const std::string& line, const std::string& key, int64_t& out) {
+  std::string token;
+  if (!ExtractNumberToken(line, key, token)) {
+    return false;
+  }
+  out = std::strtoll(token.c_str(), nullptr, 10);
+  return true;
+}
+
+bool ExtractUint(const std::string& line, const std::string& key, uint64_t& out) {
+  std::string token;
+  if (!ExtractNumberToken(line, key, token)) {
+    return false;
+  }
+  out = std::strtoull(token.c_str(), nullptr, 10);
+  return true;
+}
+
+bool ExtractDouble(const std::string& line, const std::string& key, double& out) {
+  std::string token;
+  if (!ExtractNumberToken(line, key, token)) {
+    return false;
+  }
+  out = std::strtod(token.c_str(), nullptr);
+  return true;
+}
+
+}  // namespace
+
+std::string CampaignTelemetry::ToJson() const {
+  std::string out = "{\"stages\":{";
+  for (size_t i = 0; i < kStageCount; ++i) {
+    if (i != 0) {
+      out += ',';
+    }
+    out += "\"";
+    out += kStageKeys[i];
+    out += "\":";
+    AppendHistogramJson(out, stage_latency[i]);
+  }
+  out += "},\"patterns\":{";
+  bool first = true;
+  for (const auto& [pattern, counters] : patterns) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += "\"" + EscapeJson(pattern) + "\":{";
+    out += "\"generated\":" + std::to_string(counters.generated);
+    out += ",\"executed\":" + std::to_string(counters.executed);
+    out += ",\"crashes\":" + std::to_string(counters.crashes);
+    out += ",\"bugs_deduped\":" + std::to_string(counters.bugs_deduped);
+    out += ",\"sql_errors\":" + std::to_string(counters.sql_errors);
+    out += ",\"false_positives\":" + std::to_string(counters.false_positives);
+    out += "}";
+  }
+  out += "}}";
+  return out;
+}
+
+void WriteCampaignJournal(std::ostream& out, const CampaignOptions& options,
+                          const CampaignResult& result, uint64_t wall_ns) {
+  out << "{\"event\":\"campaign_start\",\"tool\":\"" << EscapeJson(result.tool)
+      << "\",\"dialect\":\"" << EscapeJson(result.dialect)
+      << "\",\"seed\":" << options.seed << ",\"budget\":" << options.max_statements
+      << ",\"shards\":" << result.shards << "}\n";
+  for (size_t i = 0; i < result.shard_statements.size(); ++i) {
+    out << "{\"event\":\"shard_merge\",\"shard\":" << i
+        << ",\"statements\":" << result.shard_statements[i] << "}\n";
+  }
+  for (const FoundBug& bug : result.unique_bugs) {
+    out << "{\"event\":\"first_witness\",\"bug_id\":" << bug.crash.bug_id
+        << ",\"pattern\":\"" << EscapeJson(bug.found_by)
+        << "\",\"statement_index\":" << bug.statements_until_found
+        << ",\"shard\":" << bug.shard << ",\"wall_ms\":"
+        << FormatMs(static_cast<uint64_t>(bug.found_wall_ns)) << "}\n";
+  }
+  out << "{\"event\":\"campaign_finish\",\"statements\":" << result.statements_executed
+      << ",\"sql_errors\":" << result.sql_errors
+      << ",\"crashes_observed\":" << result.crashes_observed
+      << ",\"false_positives\":" << result.false_positives
+      << ",\"unique_bugs\":" << result.unique_bugs.size()
+      << ",\"functions_triggered\":" << result.functions_triggered
+      << ",\"branches_covered\":" << result.branches_covered
+      << ",\"wall_ms\":" << FormatMs(wall_ns) << "}\n";
+}
+
+std::set<int> JournalReplay::BugIds() const {
+  std::set<int> ids;
+  for (const JournalWitness& witness : witnesses) {
+    ids.insert(witness.bug_id);
+  }
+  return ids;
+}
+
+Result<JournalReplay> ReplayJournal(std::istream& in) {
+  JournalReplay replay;
+  bool started = false;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) {
+      continue;
+    }
+    std::string event;
+    if (!ExtractString(line, "event", event)) {
+      return InvalidArgument("journal line " + std::to_string(line_no) +
+                             ": missing \"event\" field");
+    }
+    if (event == "campaign_start") {
+      int64_t budget = 0, shards = 0;
+      if (!ExtractString(line, "tool", replay.tool) ||
+          !ExtractString(line, "dialect", replay.dialect) ||
+          !ExtractUint(line, "seed", replay.seed) ||
+          !ExtractInt(line, "budget", budget) || !ExtractInt(line, "shards", shards)) {
+        return InvalidArgument("journal line " + std::to_string(line_no) +
+                               ": malformed campaign_start");
+      }
+      replay.budget = static_cast<int>(budget);
+      replay.shards = static_cast<int>(shards);
+      started = true;
+    } else if (event == "shard_merge") {
+      int64_t statements = 0;
+      if (!ExtractInt(line, "statements", statements)) {
+        return InvalidArgument("journal line " + std::to_string(line_no) +
+                               ": malformed shard_merge");
+      }
+      replay.shard_statements.push_back(static_cast<int>(statements));
+    } else if (event == "first_witness") {
+      JournalWitness witness;
+      int64_t bug_id = 0, statement_index = 0, shard = 0;
+      if (!ExtractInt(line, "bug_id", bug_id) ||
+          !ExtractString(line, "pattern", witness.pattern) ||
+          !ExtractInt(line, "statement_index", statement_index) ||
+          !ExtractInt(line, "shard", shard) ||
+          !ExtractDouble(line, "wall_ms", witness.wall_ms)) {
+        return InvalidArgument("journal line " + std::to_string(line_no) +
+                               ": malformed first_witness");
+      }
+      witness.bug_id = static_cast<int>(bug_id);
+      witness.statement_index = static_cast<int>(statement_index);
+      witness.shard = static_cast<int>(shard);
+      replay.witnesses.push_back(std::move(witness));
+    } else if (event == "campaign_finish") {
+      int64_t statements = 0;
+      if (!ExtractInt(line, "statements", statements) ||
+          !ExtractUint(line, "functions_triggered", replay.functions_triggered) ||
+          !ExtractUint(line, "branches_covered", replay.branches_covered) ||
+          !ExtractDouble(line, "wall_ms", replay.wall_ms)) {
+        return InvalidArgument("journal line " + std::to_string(line_no) +
+                               ": malformed campaign_finish");
+      }
+      replay.statements_executed = static_cast<int>(statements);
+      replay.finished = true;
+    } else {
+      return InvalidArgument("journal line " + std::to_string(line_no) +
+                             ": unknown event '" + event + "'");
+    }
+  }
+  if (!started) {
+    return InvalidArgument("journal has no campaign_start event");
+  }
+  return replay;
+}
+
+Status WriteCampaignJournalFile(const std::string& path, const CampaignOptions& options,
+                                const CampaignResult& result, uint64_t wall_ns) {
+  std::ofstream out(path);
+  if (!out) {
+    return InvalidArgument("cannot open journal file '" + path + "' for writing");
+  }
+  WriteCampaignJournal(out, options, result, wall_ns);
+  return OkStatus();
+}
+
+Result<JournalReplay> ReplayJournalFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return InvalidArgument("cannot open journal file '" + path + "'");
+  }
+  return ReplayJournal(in);
+}
+
+}  // namespace telemetry
+}  // namespace soft

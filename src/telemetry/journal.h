@@ -1,0 +1,81 @@
+// NDJSON campaign journal: one JSON object per line, serializing a
+// campaign's event stream so bug-discovery-vs-budget curves can be replotted
+// offline (docs/OBSERVABILITY.md documents the schema with worked examples).
+//
+// The journal is derived from the finished CampaignResult, not streamed from
+// inside the campaign loop — that keeps the event order a pure function of
+// the (deterministic) result and never of thread scheduling, preserving the
+// parallel runner's bit-identical-merge guarantee. Event types:
+//
+//   campaign_start   tool, dialect, seed, budget, shards
+//   shard_merge      one per shard of a sharded run: shard, statements
+//   first_witness    one per unique bug, discovery order: bug_id, pattern,
+//                    statement index, shard, wall_ms (0 when telemetry was
+//                    not recording)
+//   campaign_finish  totals, coverage, wall_ms
+//
+// ReplayJournal parses the stream back; a replayed journal reconstructs the
+// exact bug set and per-bug first witnesses (tests/telemetry_test.cc).
+//
+// This header is always available: journal writing/replay has no runtime
+// cost inside campaigns, so it is not gated by SOFT_TELEMETRY.
+#ifndef SRC_TELEMETRY_JOURNAL_H_
+#define SRC_TELEMETRY_JOURNAL_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/soft/campaign.h"
+
+namespace soft {
+namespace telemetry {
+
+// Appends the campaign's NDJSON event stream to `out`. `wall_ns` is the
+// campaign's measured wall time (0 when unknown).
+void WriteCampaignJournal(std::ostream& out, const CampaignOptions& options,
+                          const CampaignResult& result, uint64_t wall_ns);
+
+// One first_witness event read back from a journal.
+struct JournalWitness {
+  int bug_id = 0;
+  std::string pattern;
+  int statement_index = 0;
+  int shard = 0;
+  double wall_ms = 0.0;
+};
+
+// A parsed journal: campaign metadata plus the witness stream.
+struct JournalReplay {
+  std::string tool;
+  std::string dialect;
+  uint64_t seed = 0;
+  int budget = 0;
+  int shards = 0;
+  std::vector<int> shard_statements;       // from shard_merge events
+  std::vector<JournalWitness> witnesses;   // journal order == discovery order
+  int statements_executed = 0;
+  uint64_t functions_triggered = 0;
+  uint64_t branches_covered = 0;
+  double wall_ms = 0.0;
+  bool finished = false;                   // campaign_finish event present
+
+  std::set<int> BugIds() const;
+};
+
+// Parses an NDJSON journal stream. Fails on unknown event types, missing
+// required fields, or a stream without a campaign_start line.
+Result<JournalReplay> ReplayJournal(std::istream& in);
+
+// Convenience: file-path variants used by the CLI flags.
+Status WriteCampaignJournalFile(const std::string& path,
+                                const CampaignOptions& options,
+                                const CampaignResult& result, uint64_t wall_ns);
+Result<JournalReplay> ReplayJournalFile(const std::string& path);
+
+}  // namespace telemetry
+}  // namespace soft
+
+#endif  // SRC_TELEMETRY_JOURNAL_H_

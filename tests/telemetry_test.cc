@@ -1,0 +1,317 @@
+// Telemetry determinism contract (docs/OBSERVABILITY.md):
+//
+//   * a K-shard merged CampaignTelemetry is bit-identical to summing the
+//     run's own shard snapshots in shard index order — for both shard modes;
+//   * partition-sharded pattern counters match the serial campaign's, except
+//     `generated`, which is exactly K× the serial pool (each shard generates
+//     the full pool);
+//   * recording is observational: disabling telemetry at runtime changes no
+//     campaign outcome;
+//   * an NDJSON journal replay reconstructs the exact bug set and per-bug
+//     first witnesses.
+//
+// Run under ThreadSanitizer together with the parallel-runner tests:
+// `ctest -R 'Parallel|GoldenPoc|Telemetry'` in a -DSOFT_SANITIZE=thread tree.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "src/dialects/dialects.h"
+#include "src/soft/parallel_runner.h"
+#include "src/soft/soft_fuzzer.h"
+#include "src/telemetry/journal.h"
+#include "src/telemetry/telemetry.h"
+
+namespace soft {
+namespace {
+
+using telemetry::CampaignTelemetry;
+using telemetry::LatencyHistogram;
+using telemetry::PatternCounters;
+
+TEST(LatencyHistogramTest, BucketBoundariesArePowersOfTwoMicroseconds) {
+  EXPECT_EQ(LatencyHistogram::BucketFor(0), 0u);
+  EXPECT_EQ(LatencyHistogram::BucketFor(999), 0u);           // < 1 µs
+  EXPECT_EQ(LatencyHistogram::BucketFor(1000), 1u);          // [1, 2) µs
+  EXPECT_EQ(LatencyHistogram::BucketFor(1999), 1u);
+  EXPECT_EQ(LatencyHistogram::BucketFor(2000), 2u);          // [2, 4) µs
+  EXPECT_EQ(LatencyHistogram::BucketFor(3999), 2u);
+  EXPECT_EQ(LatencyHistogram::BucketFor(4000), 3u);          // [4, 8) µs
+  EXPECT_EQ(LatencyHistogram::BucketFor(8192 * 1000ull), 14u);
+  EXPECT_EQ(LatencyHistogram::BucketFor(16384 * 1000ull), 15u);   // overflow bucket
+  EXPECT_EQ(LatencyHistogram::BucketFor(uint64_t{1} << 62), 15u);
+  for (size_t bucket = 1; bucket < LatencyHistogram::kBucketCount; ++bucket) {
+    const uint64_t lower_us = LatencyHistogram::BucketLowerBoundUs(bucket);
+    EXPECT_EQ(LatencyHistogram::BucketFor(lower_us * 1000), bucket);
+    EXPECT_EQ(LatencyHistogram::BucketFor(lower_us * 1000 - 1), bucket - 1);
+  }
+}
+
+TEST(LatencyHistogramTest, RecordAndMergeArePerBucketSums) {
+  LatencyHistogram a;
+  a.Record(500);      // bucket 0
+  a.Record(1500);     // bucket 1
+  a.Record(1500);
+  EXPECT_EQ(a.samples, 3u);
+  EXPECT_EQ(a.total_ns, 3500u);
+  EXPECT_EQ(a.max_ns, 1500u);
+  EXPECT_EQ(a.buckets[0], 1u);
+  EXPECT_EQ(a.buckets[1], 2u);
+
+  LatencyHistogram b;
+  b.Record(2500);     // bucket 2
+  b.Record(20'000'000);  // 20 ms → overflow bucket
+
+  LatencyHistogram merged = a;
+  merged.MergeFrom(b);
+  EXPECT_EQ(merged.samples, 5u);
+  EXPECT_EQ(merged.total_ns, a.total_ns + b.total_ns);
+  EXPECT_EQ(merged.max_ns, 20'000'000u);
+  EXPECT_EQ(merged.buckets[0], 1u);
+  EXPECT_EQ(merged.buckets[1], 2u);
+  EXPECT_EQ(merged.buckets[2], 1u);
+  EXPECT_EQ(merged.buckets[15], 1u);
+  EXPECT_DOUBLE_EQ(a.MeanUs(), 3500.0 / 3.0 / 1000.0);
+}
+
+TEST(CampaignTelemetryTest, MergeSumsStagesAndPatterns) {
+  CampaignTelemetry a;
+  a.stage_latency[0].Record(1000);
+  a.patterns["P1.1"].executed = 10;
+  a.patterns["P1.1"].crashes = 1;
+  CampaignTelemetry b;
+  b.stage_latency[0].Record(3000);
+  b.stage_latency[2].Record(500);
+  b.patterns["P1.1"].executed = 5;
+  b.patterns["P2.2"].generated = 7;
+
+  CampaignTelemetry merged = a;
+  merged.MergeFrom(b);
+  EXPECT_EQ(merged.stage_latency[0].samples, 2u);
+  EXPECT_EQ(merged.stage_latency[2].samples, 1u);
+  EXPECT_EQ(merged.patterns.at("P1.1").executed, 15u);
+  EXPECT_EQ(merged.patterns.at("P1.1").crashes, 1u);
+  EXPECT_EQ(merged.patterns.at("P2.2").generated, 7u);
+  EXPECT_FALSE(merged.empty());
+  EXPECT_TRUE(CampaignTelemetry{}.empty());
+}
+
+// Totals a counter field across every pattern of a snapshot.
+uint64_t Total(const CampaignTelemetry& t, uint64_t PatternCounters::*field) {
+  uint64_t sum = 0;
+  for (const auto& [pattern, counters] : t.patterns) {
+    sum += counters.*field;
+  }
+  return sum;
+}
+
+CampaignOptions TestOptions(uint64_t seed, int budget) {
+  CampaignOptions options;
+  options.seed = seed;
+  options.max_statements = budget;
+  return options;
+}
+
+#ifdef SOFT_TELEMETRY_ENABLED
+
+// The campaign loop's counters must reconcile exactly with the campaign
+// result they annotate — same events, counted twice, once per view.
+TEST(TelemetryCampaignTest, CountersReconcileWithCampaignResult) {
+  std::unique_ptr<Database> db = MakeDialect("mariadb");
+  SoftFuzzer fuzzer;
+  const CampaignResult result = fuzzer.Run(*db, TestOptions(11, 4000));
+
+  const CampaignTelemetry& t = result.telemetry;
+  EXPECT_EQ(Total(t, &PatternCounters::executed),
+            static_cast<uint64_t>(result.statements_executed));
+  EXPECT_EQ(Total(t, &PatternCounters::crashes),
+            static_cast<uint64_t>(result.crashes_observed));
+  EXPECT_EQ(Total(t, &PatternCounters::bugs_deduped), result.unique_bugs.size());
+  EXPECT_EQ(Total(t, &PatternCounters::sql_errors),
+            static_cast<uint64_t>(result.sql_errors));
+  EXPECT_EQ(Total(t, &PatternCounters::false_positives),
+            static_cast<uint64_t>(result.false_positives));
+  // Every executed statement entered the parse stage.
+  EXPECT_GE(t.stage_latency[0].samples,
+            static_cast<uint64_t>(result.statements_executed));
+  // Stage sample counts shrink monotonically along the pipeline.
+  EXPECT_GE(t.stage_latency[0].samples, t.stage_latency[1].samples);
+  EXPECT_GE(t.stage_latency[1].samples, t.stage_latency[2].samples);
+}
+
+// Partition-sharded counters match the serial campaign's except `generated`:
+// every shard generates the full pool, so merged generation is exactly K×.
+TEST(TelemetryCampaignTest, PartitionShardCountersMatchSerialExceptGenerated) {
+  const CampaignOptions options = TestOptions(11, 4000);
+  const int kShards = 4;
+  const CampaignResult serial =
+      RunShardedSoftCampaign("mariadb", options, 1, SoftOptions(),
+                             ShardMode::kPartitionCases);
+  const CampaignResult sharded =
+      RunShardedSoftCampaign("mariadb", options, kShards, SoftOptions(),
+                             ShardMode::kPartitionCases);
+
+  ASSERT_FALSE(serial.telemetry.patterns.empty());
+  for (const auto& [pattern, counters] : serial.telemetry.patterns) {
+    ASSERT_TRUE(sharded.telemetry.patterns.count(pattern)) << pattern;
+    const PatternCounters& merged = sharded.telemetry.patterns.at(pattern);
+    EXPECT_EQ(merged.executed, counters.executed) << pattern;
+    EXPECT_EQ(merged.crashes, counters.crashes) << pattern;
+    EXPECT_EQ(merged.sql_errors, counters.sql_errors) << pattern;
+    EXPECT_EQ(merged.false_positives, counters.false_positives) << pattern;
+    EXPECT_EQ(merged.generated, counters.generated * kShards) << pattern;
+  }
+  // Shard-local dedup can witness one bug in several shards, so the merged
+  // first-witness count is bounded below by the global unique-bug count.
+  EXPECT_GE(Total(sharded.telemetry, &PatternCounters::bugs_deduped),
+            sharded.unique_bugs.size());
+}
+
+// Turning recording off at runtime must change no campaign outcome.
+TEST(TelemetryCampaignTest, DisablingTelemetryChangesNoCampaignOutcome) {
+  const CampaignOptions options = TestOptions(3, 5000);
+  const CampaignResult lit =
+      RunShardedSoftCampaign("virtuoso", options, 2, SoftOptions(),
+                             ShardMode::kPartitionCases);
+  telemetry::SetRuntimeEnabled(false);
+  const CampaignResult dark =
+      RunShardedSoftCampaign("virtuoso", options, 2, SoftOptions(),
+                             ShardMode::kPartitionCases);
+  telemetry::SetRuntimeEnabled(true);
+
+  EXPECT_FALSE(lit.telemetry.empty());
+  EXPECT_TRUE(dark.telemetry.empty());
+  EXPECT_EQ(lit.statements_executed, dark.statements_executed);
+  EXPECT_EQ(lit.sql_errors, dark.sql_errors);
+  EXPECT_EQ(lit.crashes_observed, dark.crashes_observed);
+  EXPECT_EQ(lit.false_positives, dark.false_positives);
+  EXPECT_EQ(lit.functions_triggered, dark.functions_triggered);
+  EXPECT_EQ(lit.branches_covered, dark.branches_covered);
+  EXPECT_EQ(lit.shard_statements, dark.shard_statements);
+  ASSERT_EQ(lit.unique_bugs.size(), dark.unique_bugs.size());
+  for (size_t i = 0; i < lit.unique_bugs.size(); ++i) {
+    EXPECT_EQ(lit.unique_bugs[i].crash.bug_id, dark.unique_bugs[i].crash.bug_id);
+    EXPECT_EQ(lit.unique_bugs[i].poc_sql, dark.unique_bugs[i].poc_sql);
+    EXPECT_EQ(lit.unique_bugs[i].found_by, dark.unique_bugs[i].found_by);
+    EXPECT_EQ(lit.unique_bugs[i].statements_until_found,
+              dark.unique_bugs[i].statements_until_found);
+    EXPECT_EQ(lit.unique_bugs[i].shard, dark.unique_bugs[i].shard);
+  }
+}
+
+TEST(TelemetryNamedLatencyTest, RecordedNamesAppearInSnapshot) {
+  telemetry::RecordNamedLatency("telemetry_test_probe", 1500);
+  telemetry::RecordNamedLatency("telemetry_test_probe", 2500);
+  const auto snapshot = telemetry::NamedLatencySnapshot();
+  ASSERT_TRUE(snapshot.count("telemetry_test_probe"));
+  EXPECT_GE(snapshot.at("telemetry_test_probe").samples, 2u);
+}
+
+#endif  // SOFT_TELEMETRY_ENABLED
+
+class TelemetryMergeTest : public testing::TestWithParam<ShardMode> {};
+
+// The merged snapshot is the shard-index-ordered sum of the run's own shard
+// snapshots — bit-identical, both shard modes, on a single run (histogram
+// contents vary across runs with wall time; the merge must not).
+TEST_P(TelemetryMergeTest, MergedTelemetryIsShardIndexOrderedSum) {
+  const CampaignResult sharded = RunShardedSoftCampaign(
+      "postgresql", TestOptions(7, 3000), 4, SoftOptions(), GetParam());
+  ASSERT_EQ(sharded.shard_telemetry.size(), 4u);
+  CampaignTelemetry summed;
+  for (const CampaignTelemetry& shard : sharded.shard_telemetry) {
+    summed.MergeFrom(shard);
+  }
+  EXPECT_EQ(sharded.telemetry, summed);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothModes, TelemetryMergeTest,
+                         testing::Values(ShardMode::kPartitionCases,
+                                         ShardMode::kSplitBudget),
+                         [](const testing::TestParamInfo<ShardMode>& info) {
+                           return info.param == ShardMode::kPartitionCases
+                                      ? "partition"
+                                      : "split";
+                         });
+
+// Journal round trip: replaying the NDJSON stream reconstructs the exact bug
+// set, per-bug first witnesses, and campaign totals.
+TEST(TelemetryJournalTest, ReplayReconstructsExactBugSet) {
+  const CampaignOptions options = TestOptions(5, 6000);
+  const CampaignResult result = RunShardedSoftCampaign(
+      "mariadb", options, 3, SoftOptions(), ShardMode::kPartitionCases);
+  ASSERT_FALSE(result.unique_bugs.empty());
+
+  std::stringstream stream;
+  telemetry::WriteCampaignJournal(stream, options, result, 123456789);
+  const Result<telemetry::JournalReplay> replayed =
+      telemetry::ReplayJournal(stream);
+  ASSERT_TRUE(replayed.ok()) << replayed.status().message();
+
+  EXPECT_EQ(replayed->tool, result.tool);
+  EXPECT_EQ(replayed->dialect, result.dialect);
+  EXPECT_EQ(replayed->seed, options.seed);
+  EXPECT_EQ(replayed->budget, options.max_statements);
+  EXPECT_EQ(replayed->shards, result.shards);
+  EXPECT_EQ(replayed->shard_statements, result.shard_statements);
+  EXPECT_EQ(replayed->statements_executed, result.statements_executed);
+  EXPECT_EQ(replayed->functions_triggered, result.functions_triggered);
+  EXPECT_EQ(replayed->branches_covered, result.branches_covered);
+  EXPECT_TRUE(replayed->finished);
+  EXPECT_DOUBLE_EQ(replayed->wall_ms, 123.457);  // %.3f of 123456789 ns
+
+  std::set<int> expected_ids;
+  ASSERT_EQ(replayed->witnesses.size(), result.unique_bugs.size());
+  for (size_t i = 0; i < result.unique_bugs.size(); ++i) {
+    const FoundBug& bug = result.unique_bugs[i];
+    const telemetry::JournalWitness& witness = replayed->witnesses[i];
+    EXPECT_EQ(witness.bug_id, bug.crash.bug_id);
+    EXPECT_EQ(witness.pattern, bug.found_by);
+    EXPECT_EQ(witness.statement_index, bug.statements_until_found);
+    EXPECT_EQ(witness.shard, bug.shard);
+    expected_ids.insert(bug.crash.bug_id);
+  }
+  EXPECT_EQ(replayed->BugIds(), expected_ids);
+}
+
+TEST(TelemetryJournalTest, ReplayRejectsMalformedStreams) {
+  {
+    std::stringstream empty;
+    EXPECT_FALSE(telemetry::ReplayJournal(empty).ok());
+  }
+  {
+    std::stringstream unknown(
+        "{\"event\":\"campaign_start\",\"tool\":\"t\",\"dialect\":\"d\","
+        "\"seed\":1,\"budget\":10,\"shards\":1}\n"
+        "{\"event\":\"warp_drive\"}\n");
+    EXPECT_FALSE(telemetry::ReplayJournal(unknown).ok());
+  }
+  {
+    std::stringstream no_event("{\"foo\":1}\n");
+    EXPECT_FALSE(telemetry::ReplayJournal(no_event).ok());
+  }
+  {
+    std::stringstream missing_field(
+        "{\"event\":\"campaign_start\",\"tool\":\"t\"}\n");
+    EXPECT_FALSE(telemetry::ReplayJournal(missing_field).ok());
+  }
+}
+
+TEST(TelemetryJournalTest, ToJsonCarriesStagesAndPatterns) {
+  CampaignTelemetry t;
+  t.stage_latency[0].Record(1000);
+  t.patterns["P1.1"].executed = 3;
+  const std::string json = t.ToJson();
+  EXPECT_NE(json.find("\"stages\""), std::string::npos);
+  EXPECT_NE(json.find("\"parse\""), std::string::npos);
+  EXPECT_NE(json.find("\"optimize\""), std::string::npos);
+  EXPECT_NE(json.find("\"execute\""), std::string::npos);
+  EXPECT_NE(json.find("\"P1.1\""), std::string::npos);
+  EXPECT_NE(json.find("\"executed\":3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace soft

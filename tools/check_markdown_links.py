@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Docs lint: fail on dead relative links in the repo's Markdown files.
+
+Scans every tracked *.md (skipping build trees) for inline Markdown links
+and checks that relative targets exist on disk. External links (http/https/
+mailto) and pure in-page anchors (#...) are skipped; a relative target's own
+#anchor suffix is stripped before the existence check.
+
+Usage: check_markdown_links.py [repo_root]
+Exit code 0 when every relative link resolves, 1 otherwise (one line per
+dead link: file:line: target).
+"""
+import os
+import re
+import sys
+
+SKIP_DIRS = {".git", "build", "third_party", "node_modules", "__pycache__"}
+
+# Inline links [text](target). Images use the same tail. Reference-style
+# definitions are rare in this repo and intentionally out of scope.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+
+def markdown_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [
+            d for d in dirnames if d not in SKIP_DIRS and not d.startswith("build")
+        ]
+        for name in sorted(filenames):
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def check_file(path, root):
+    dead = []
+    with open(path, encoding="utf-8") as f:
+        in_fence = False
+        for line_no, line in enumerate(f, start=1):
+            if line.lstrip().startswith("```"):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for match in LINK_RE.finditer(line):
+                target = match.group(1)
+                if target.startswith(("http://", "https://", "mailto:", "#")):
+                    continue
+                target_path = target.split("#", 1)[0]
+                if not target_path:
+                    continue
+                if target_path.startswith("/"):
+                    resolved = os.path.join(root, target_path.lstrip("/"))
+                else:
+                    resolved = os.path.join(os.path.dirname(path), target_path)
+                if not os.path.exists(resolved):
+                    dead.append((line_no, target))
+    return dead
+
+
+def main():
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    failures = 0
+    checked = 0
+    for path in markdown_files(root):
+        checked += 1
+        for line_no, target in check_file(path, root):
+            rel = os.path.relpath(path, root)
+            print(f"{rel}:{line_no}: dead relative link: {target}")
+            failures += 1
+    print(f"checked {checked} markdown files, {failures} dead links")
+    return 0 if failures == 0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
