@@ -5,7 +5,11 @@
 // The sharded-campaign bench honours --threads=N (or SOFT_BENCH_THREADS) for
 // the shard count; the full scaling curve lives in bench_parallel_scaling.
 // --telemetry=<path> writes the sharded campaign's NDJSON event journal
-// (docs/OBSERVABILITY.md) after its final iteration.
+// (docs/OBSERVABILITY.md) after its final iteration. --timeout-ms=<n> and
+// --crash-mode=sim|real apply the statement watchdog / real-crash worker
+// harness (docs/ROBUSTNESS.md) to the sharded campaign, so their overhead is
+// measurable; --resume=<journal> benchmarks a checkpoint-verified resume of
+// that journal instead of a fresh campaign.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
@@ -16,6 +20,7 @@
 
 #include "src/dialects/dialects.h"
 #include "src/soft/expr_collection.h"
+#include "src/soft/resume.h"
 #include "src/soft/patterns.h"
 #include "src/soft/seeds.h"
 #include "src/soft/soft_fuzzer.h"
@@ -27,6 +32,9 @@ namespace soft {
 
 int g_bench_threads = 0;           // 0 = unset; resolved by BenchThreads()
 std::string g_telemetry_path;      // set by --telemetry=<path>
+std::string g_resume_path;         // set by --resume=<journal>
+int g_timeout_ms = 0;              // set by --timeout-ms=<n>
+bool g_crash_real = false;         // set by --crash-mode=real
 
 namespace {
 
@@ -135,11 +143,30 @@ void BM_ShardedSoftCampaign(benchmark::State& state) {
   CampaignOptions options;
   options.seed = 1;
   options.max_statements = 8000;
+  options.statement_limits.deadline_ms = g_timeout_ms;
+  options.crash_realism =
+      g_crash_real ? CrashRealism::kReal : CrashRealism::kSimulated;
   CampaignResult last;
   uint64_t last_wall_ns = 0;
   for (auto _ : state) {
     const telemetry::WallTimer timer;
-    CampaignResult result = RunShardedSoftCampaign("mariadb", options, shards);
+    CampaignResult result =
+        g_resume_path.empty()
+            ? RunShardedSoftCampaign("mariadb", options, shards)
+            : [&] {
+                const Result<ResumeSpec> spec = LoadResumeSpec(g_resume_path);
+                if (!spec.ok()) {
+                  state.SkipWithError(spec.status().message().c_str());
+                  return CampaignResult{};
+                }
+                const Result<CampaignResult> resumed =
+                    ResumeSoftCampaign(*spec, options);
+                if (!resumed.ok()) {
+                  state.SkipWithError(resumed.status().message().c_str());
+                  return CampaignResult{};
+                }
+                return *resumed;
+              }();
     last_wall_ns = timer.ElapsedNs();
     benchmark::DoNotOptimize(result.statements_executed);
     state.counters["bugs"] = static_cast<double>(result.unique_bugs.size());
@@ -171,6 +198,23 @@ int main(int argc, char** argv) {
       soft::g_bench_threads = std::atoi(argv[i] + 10);
     } else if (std::strncmp(argv[i], "--telemetry=", 12) == 0) {
       soft::g_telemetry_path = argv[i] + 12;
+    } else if (std::strncmp(argv[i], "--resume=", 9) == 0) {
+      soft::g_resume_path = argv[i] + 9;
+    } else if (std::strncmp(argv[i], "--timeout-ms=", 13) == 0) {
+      soft::g_timeout_ms = std::atoi(argv[i] + 13);
+      if (soft::g_timeout_ms < 0) {
+        std::fprintf(stderr, "--timeout-ms must be >= 0\n");
+        return 1;
+      }
+    } else if (std::strncmp(argv[i], "--crash-mode=", 13) == 0) {
+      const char* mode = argv[i] + 13;
+      if (std::strcmp(mode, "real") == 0) {
+        soft::g_crash_real = true;
+      } else if (std::strcmp(mode, "sim") != 0) {
+        std::fprintf(stderr, "--crash-mode must be 'sim' or 'real' (got '%s')\n",
+                     mode);
+        return 1;
+      }
     } else {
       argv[kept++] = argv[i];
     }

@@ -2,63 +2,218 @@
 // collect expressions, generate boundary arguments with all ten patterns,
 // execute, and print a bug report per finding.
 //
-//   $ ./examples/find_bugs [dialect] [budget] [--telemetry=journal.ndjson]
+//   $ ./examples/find_bugs [dialect] [budget] [flags]
 //   $ ./examples/find_bugs virtuoso 100000
+//   $ ./examples/find_bugs duckdb 50000 --crash-mode=real --timeout-ms=200 \
+//         --telemetry=journal.ndjson
+//   $ ./examples/find_bugs --resume=journal.ndjson
 //
-// --telemetry=<path> writes the campaign's NDJSON event journal (see
-// docs/OBSERVABILITY.md) after the run.
+// Flags:
+//   --telemetry=<path>        stream the campaign's NDJSON event journal
+//                             (docs/OBSERVABILITY.md) — written live, so an
+//                             interrupted run leaves a resumable journal
+//   --checkpoint-every=<n>    checkpoint cadence in statements (default 1000
+//                             when a journal is written, else off)
+//   --timeout-ms=<n>          statement watchdog deadline (docs/ROBUSTNESS.md)
+//   --crash-mode=sim|real     realize triggered bugs as simulated results
+//                             (default) or as real signals inside forked
+//                             workers
+//   --resume=<journal>        resume an interrupted campaign from its journal
+//                             (dialect/budget/seed come from the journal)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "src/dialects/dialects.h"
+#include "src/soft/resume.h"
 #include "src/soft/soft_fuzzer.h"
 #include "src/telemetry/journal.h"
 #include "src/telemetry/telemetry.h"
 
+namespace {
+
+void PrintUsage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [dialect] [budget] [--telemetry=<path>]\n"
+               "          [--checkpoint-every=<n>] [--timeout-ms=<n>]\n"
+               "          [--crash-mode=sim|real] [--resume=<journal>]\n",
+               argv0);
+}
+
+bool ParseIntFlag(const char* arg, const char* name, int* out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) {
+    return false;
+  }
+  *out = std::atoi(arg + len);
+  return true;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   std::string telemetry_path;
+  std::string resume_path;
+  std::string crash_mode = "sim";
+  int timeout_ms = 0;
+  int checkpoint_every = -1;  // -1: default (1000 with a journal, else 0)
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--telemetry=", 12) == 0) {
       telemetry_path = argv[i] + 12;
+    } else if (std::strncmp(argv[i], "--resume=", 9) == 0) {
+      resume_path = argv[i] + 9;
+    } else if (std::strncmp(argv[i], "--crash-mode=", 13) == 0) {
+      crash_mode = argv[i] + 13;
+    } else if (ParseIntFlag(argv[i], "--timeout-ms=", &timeout_ms) ||
+               ParseIntFlag(argv[i], "--checkpoint-every=", &checkpoint_every)) {
+      // parsed
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
+      PrintUsage(argv[0]);
+      return 1;
     } else {
       positional.push_back(argv[i]);
     }
   }
-  const std::string dialect = !positional.empty() ? positional[0] : "virtuoso";
-  const int budget = positional.size() > 1 ? std::atoi(positional[1]) : 150000;
-
-  std::unique_ptr<soft::Database> db = soft::MakeDialect(dialect);
-  if (db == nullptr) {
-    std::fprintf(stderr, "unknown dialect '%s'; options:", dialect.c_str());
-    for (const std::string& name : soft::AllDialectNames()) {
-      std::fprintf(stderr, " %s", name.c_str());
-    }
-    std::fprintf(stderr, "\n");
+  if (crash_mode != "sim" && crash_mode != "real") {
+    std::fprintf(stderr, "--crash-mode must be 'sim' or 'real' (got '%s')\n",
+                 crash_mode.c_str());
+    PrintUsage(argv[0]);
+    return 1;
+  }
+  if (timeout_ms < 0) {
+    std::fprintf(stderr, "--timeout-ms must be >= 0\n");
+    return 1;
+  }
+  if (!resume_path.empty() && !positional.empty()) {
+    std::fprintf(stderr,
+                 "--resume takes dialect/budget/seed from the journal; drop the "
+                 "positional arguments\n");
     return 1;
   }
 
-  std::printf("=== SOFT bug-hunting campaign ===\n");
-  std::printf("target:  %s (%zu functions, strict casts: %s)\n",
-              dialect.c_str(), db->registry().size(),
-              db->config().cast_options.strict ? "yes" : "no");
-  std::printf("budget:  %d statements\n\n", budget);
-
-  soft::SoftFuzzer fuzzer;
   soft::CampaignOptions options;
-  options.max_statements = budget;
   options.stop_when_all_bugs_found = true;
-  const soft::telemetry::WallTimer campaign_timer;
-  const soft::CampaignResult result = fuzzer.Run(*db, options);
-  const uint64_t campaign_wall_ns = campaign_timer.ElapsedNs();
+  options.crash_realism = crash_mode == "real" ? soft::CrashRealism::kReal
+                                               : soft::CrashRealism::kSimulated;
+  options.statement_limits.deadline_ms = timeout_ms;
+  if (checkpoint_every < 0) {
+    checkpoint_every = telemetry_path.empty() ? 0 : 1000;
+  }
+  options.checkpoint_every = checkpoint_every;
+
+  // Streaming journal: header + live checkpoints, tail after the run. An
+  // interrupted process leaves header + checkpoints = a resumable journal.
+  std::ofstream journal;
+  if (!telemetry_path.empty()) {
+    journal.open(telemetry_path, std::ios::trunc);
+    if (!journal) {
+      std::fprintf(stderr, "cannot open journal '%s'\n", telemetry_path.c_str());
+      return 1;
+    }
+    options.checkpoint_sink = [&journal](const soft::CampaignCheckpoint& cp) {
+      soft::telemetry::WriteCheckpointRecord(journal, cp);
+      journal.flush();
+    };
+  }
+
+  std::string dialect;
+  soft::CampaignResult result;
+  uint64_t campaign_wall_ns = 0;
+
+  if (!resume_path.empty()) {
+    // --- resume path -------------------------------------------------------
+    const soft::Result<soft::ResumeSpec> spec = soft::LoadResumeSpec(resume_path);
+    if (!spec.ok()) {
+      std::fprintf(stderr, "cannot resume: %s\n", spec.status().message().c_str());
+      return 1;
+    }
+    dialect = spec->dialect;
+    std::printf("=== SOFT bug-hunting campaign (resuming %s) ===\n",
+                resume_path.c_str());
+    std::printf("target:  %s, budget %d, seed %llu\n", dialect.c_str(), spec->budget,
+                static_cast<unsigned long long>(spec->seed));
+    if (spec->finished) {
+      std::printf("note: journal already holds a finished campaign; re-running\n");
+    }
+    if (spec->has_checkpoint) {
+      std::printf("resume anchor: checkpoint at %d cases (%d bugs found)\n",
+                  spec->last_checkpoint.cases_completed, spec->last_checkpoint.unique_bugs);
+    } else {
+      std::printf("journal has no checkpoint yet; replaying from the start\n");
+    }
+    // Mirror the knobs ResumeSoftCampaign derives from the spec so the new
+    // journal's header matches the interrupted run's.
+    options.seed = spec->seed;
+    options.max_statements = spec->budget;
+    if (spec->has_checkpoint) {
+      options.checkpoint_every = spec->last_checkpoint.every;
+    }
+    if (journal.is_open()) {
+      soft::telemetry::WriteCampaignStart(journal, options, "SOFT", dialect, 1);
+      soft::telemetry::WriteResumeMarker(
+          journal, spec->has_checkpoint ? spec->last_checkpoint.cases_completed : 0);
+      journal.flush();
+    }
+    const soft::telemetry::WallTimer timer;
+    const soft::Result<soft::CampaignResult> resumed =
+        soft::ResumeSoftCampaign(*spec, options);
+    campaign_wall_ns = timer.ElapsedNs();
+    if (!resumed.ok()) {
+      std::fprintf(stderr, "resume failed: %s\n", resumed.status().message().c_str());
+      return 1;
+    }
+    result = *resumed;
+  } else {
+    // --- fresh campaign ----------------------------------------------------
+    dialect = !positional.empty() ? positional[0] : "virtuoso";
+    const int budget = positional.size() > 1 ? std::atoi(positional[1]) : 150000;
+    options.max_statements = budget;
+
+    std::unique_ptr<soft::Database> db = soft::MakeDialect(dialect);
+    if (db == nullptr) {
+      std::fprintf(stderr, "unknown dialect '%s'; options:", dialect.c_str());
+      for (const std::string& name : soft::AllDialectNames()) {
+        std::fprintf(stderr, " %s", name.c_str());
+      }
+      std::fprintf(stderr, "\n");
+      return 1;
+    }
+
+    std::printf("=== SOFT bug-hunting campaign ===\n");
+    std::printf("target:  %s (%zu functions, strict casts: %s)\n",
+                dialect.c_str(), db->registry().size(),
+                db->config().cast_options.strict ? "yes" : "no");
+    std::printf("budget:  %d statements", budget);
+    if (options.crash_realism == soft::CrashRealism::kReal) {
+      std::printf("  [real-crash workers]");
+    }
+    if (timeout_ms > 0) {
+      std::printf("  [watchdog %d ms]", timeout_ms);
+    }
+    std::printf("\n\n");
+    db.reset();  // the campaign builds its own instance
+
+    if (journal.is_open()) {
+      soft::telemetry::WriteCampaignStart(journal, options, "SOFT", dialect, 1);
+      journal.flush();
+    }
+    const soft::telemetry::WallTimer timer;
+    // One shard through the sharded runner: bit-identical to the plain
+    // serial run, and it is the path that honours --crash-mode=real.
+    result = soft::RunShardedSoftCampaign(dialect, options, /*shards=*/1);
+    campaign_wall_ns = timer.ElapsedNs();
+  }
 
   std::printf("campaign finished: %d statements (%d SQL errors, %d crashes observed, "
-              "%d resource-limit false positives)\n\n",
+              "%d resource-limit false positives, %d watchdog timeouts)\n\n",
               result.statements_executed, result.sql_errors, result.crashes_observed,
-              result.false_positives);
+              result.false_positives, result.watchdog_timeouts);
   std::printf("coverage: %zu functions triggered, %zu branches covered\n\n",
               result.functions_triggered, result.branches_covered);
 
@@ -88,12 +243,11 @@ int main(int argc, char** argv) {
   }
   std::printf("\n");
 
-  if (!telemetry_path.empty()) {
-    const soft::Status status = soft::telemetry::WriteCampaignJournalFile(
-        telemetry_path, options, result, campaign_wall_ns);
-    if (!status.ok()) {
-      std::fprintf(stderr, "failed to write journal: %s\n",
-                   status.message().c_str());
+  if (journal.is_open()) {
+    soft::telemetry::WriteCampaignTail(journal, result, campaign_wall_ns);
+    journal.flush();
+    if (!journal) {
+      std::fprintf(stderr, "failed to write journal '%s'\n", telemetry_path.c_str());
       return 1;
     }
     std::printf("wrote NDJSON journal to %s\n", telemetry_path.c_str());

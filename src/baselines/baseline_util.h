@@ -14,9 +14,11 @@ namespace soft {
 // Executes one statement and folds the outcome into the campaign result.
 // Telemetry: the baselines generate statements on the fly, so `found_by`
 // (the tool name) is the counter key and generated == executed.
+// `dedup_digest` is the running FNV digest of found bug ids (campaign.h),
+// carried into checkpoint records.
 inline void ExecuteAndRecord(Database& db, const std::string& sql,
                              const std::string& found_by, CampaignResult& result,
-                             std::set<int>& found_ids) {
+                             std::set<int>& found_ids, uint64_t& dedup_digest) {
   ++result.statements_executed;
   telemetry::CountGenerated(found_by, 1);
   telemetry::CountExecuted(found_by);
@@ -26,6 +28,7 @@ inline void ExecuteAndRecord(Database& db, const std::string& sql,
     telemetry::CountCrash(found_by);
     if (found_ids.insert(r.crash->bug_id).second) {
       telemetry::CountBugDeduped(found_by);
+      dedup_digest = DedupDigestStep(dedup_digest, r.crash->bug_id);
       FoundBug bug;
       bug.crash = *r.crash;
       bug.poc_sql = sql;
@@ -34,6 +37,11 @@ inline void ExecuteAndRecord(Database& db, const std::string& sql,
       bug.found_wall_ns = static_cast<int64_t>(telemetry::WallSinceCollectorStartNs());
       result.unique_bugs.push_back(std::move(bug));
     }
+    return;
+  }
+  if (r.status.code() == StatusCode::kTimeout) {
+    ++result.watchdog_timeouts;
+    telemetry::CountTimeout(found_by);
     return;
   }
   if (r.status.code() == StatusCode::kResourceExhausted) {
@@ -45,6 +53,26 @@ inline void ExecuteAndRecord(Database& db, const std::string& sql,
     ++result.sql_errors;
     telemetry::CountSqlError(found_by);
   }
+}
+
+// Campaign-start housekeeping shared by the baseline Run()s: applies the
+// watchdog budgets to the campaign database. Baselines checkpoint through
+// MaybeCheckpointBaseline below.
+inline void ApplyCampaignLimits(Database& db, const CampaignOptions& options) {
+  db.set_statement_limits(options.statement_limits);
+}
+
+// Emits a checkpoint when the cadence divides the statement count. The
+// baselines draw from a live RNG, so the fingerprint is taken from it.
+inline void MaybeCheckpointBaseline(const CampaignOptions& options,
+                                    const CampaignResult& result, const Rng& rng,
+                                    uint64_t dedup_digest) {
+  if (options.checkpoint_every <= 0 || !options.checkpoint_sink ||
+      result.statements_executed % options.checkpoint_every != 0) {
+    return;
+  }
+  options.checkpoint_sink(
+      MakeCheckpoint(options, result, rng.StateFingerprint(), dedup_digest));
 }
 
 // Benign literal generators shared by the baselines: small integers, short

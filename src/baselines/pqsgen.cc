@@ -31,6 +31,8 @@ CampaignResult PqsGen::Run(Database& db, const CampaignOptions& options) {
   const telemetry::ScopedCollector telem(&result.telemetry);
   Rng rng(options.seed ^ 0x505153ull);
   std::set<int> found_ids;
+  uint64_t dedup_digest = kDedupDigestSeed;
+  ApplyCampaignLimits(db, options);
 
   db.Execute("DROP TABLE IF EXISTS t_pqs");
   db.Execute("CREATE TABLE t_pqs (a INT, b STRING, c DOUBLE)");
@@ -85,7 +87,8 @@ CampaignResult PqsGen::Run(Database& db, const CampaignOptions& options) {
     } else {
       sql = "SELECT " + call;
     }
-    ExecuteAndRecord(db, sql, name(), result, found_ids);
+    ExecuteAndRecord(db, sql, name(), result, found_ids, dedup_digest);
+    MaybeCheckpointBaseline(options, result, rng, dedup_digest);
     // The pivot-containment logic oracle itself finds no crash bugs by
     // construction; crash detection above is what counts here.
   }

@@ -72,6 +72,8 @@ CampaignResult RandSmith::Run(Database& db, const CampaignOptions& options) {
   const telemetry::ScopedCollector telem(&result.telemetry);
   Rng rng(options.seed ^ 0x536d697468ull);
   std::set<int> found_ids;
+  uint64_t dedup_digest = kDedupDigestSeed;
+  ApplyCampaignLimits(db, options);
 
   // Its own scratch table for FROM-clause clutter.
   db.Execute("CREATE TABLE t_rs (x INT, s STRING)");
@@ -134,7 +136,8 @@ CampaignResult RandSmith::Run(Database& db, const CampaignOptions& options) {
         sql += " LIMIT " + std::to_string(1 + rng.NextBelow(3));
       }
     }
-    ExecuteAndRecord(db, sql, name(), result, found_ids);
+    ExecuteAndRecord(db, sql, name(), result, found_ids, dedup_digest);
+    MaybeCheckpointBaseline(options, result, rng, dedup_digest);
   }
 
   result.functions_triggered = db.coverage().TriggeredFunctionCount();

@@ -35,4 +35,19 @@ void CoverageTracker::Reset() {
   branches_.clear();
 }
 
+std::vector<std::string> CoverageTracker::BranchKeys() const {
+  std::vector<std::string> out(branches_.begin(), branches_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void CoverageTracker::RestoreBranchKey(const std::string& key) {
+  const size_t hash_pos = key.rfind('#');
+  if (hash_pos == std::string::npos) {
+    return;  // not a key this tracker produced
+  }
+  functions_.insert(key.substr(0, hash_pos));
+  branches_.insert(key);
+}
+
 }  // namespace soft

@@ -42,6 +42,12 @@ class CoverageTracker {
 
   void Reset();
 
+  // Raw branch keys ("FUNC#id"), sorted — with RestoreBranchKey this lets a
+  // worker child serialize its tracker over the supervisor pipe and the
+  // parent rebuild an identical one (src/soft/worker.cc).
+  std::vector<std::string> BranchKeys() const;
+  void RestoreBranchKey(const std::string& key);
+
  private:
   std::unordered_set<std::string> functions_;
   // Key: "FUNC#id".

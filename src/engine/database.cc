@@ -2,14 +2,90 @@
 // maintenance.
 #include "src/engine/database.h"
 
+#include <sys/time.h>
+
+#include <csignal>
+
 #include "src/engine/exec_internal.h"
 #include "src/telemetry/telemetry.h"
 #include "src/util/str_util.h"
 
 namespace soft {
+namespace {
+
+// Hard SIGALRM backstop for worker children (CrashRealismPolicy::
+// alarm_backstop): arms an interval timer at 8x the cooperative deadline so
+// it only fires when cooperation failed — the child then dies by SIGALRM and
+// the supervisor treats it as an unannounced death. Disarmed on destruction.
+class AlarmBackstop {
+ public:
+  AlarmBackstop(bool requested, int64_t deadline_ms)
+      : armed_(requested && deadline_ms > 0) {
+    if (!armed_) {
+      return;
+    }
+    std::signal(SIGALRM, SIG_DFL);
+    const int64_t budget_ms = deadline_ms * 8;
+    itimerval timer = {};
+    timer.it_value.tv_sec = budget_ms / 1000;
+    timer.it_value.tv_usec = (budget_ms % 1000) * 1000;
+    setitimer(ITIMER_REAL, &timer, nullptr);
+  }
+  ~AlarmBackstop() {
+    if (armed_) {
+      itimerval timer = {};
+      setitimer(ITIMER_REAL, &timer, nullptr);
+    }
+  }
+  AlarmBackstop(const AlarmBackstop&) = delete;
+  AlarmBackstop& operator=(const AlarmBackstop&) = delete;
+
+ private:
+  bool armed_;
+};
+
+}  // namespace
 
 Database::Database(EngineConfig config) : config_(std::move(config)) {
   RegisterAllBuiltins(registry_);
+}
+
+void Database::set_crash_realism(CrashRealismPolicy policy) {
+  crash_policy_ = std::move(policy);
+  crash_sim_remaining_ = crash_policy_.simulate_first;
+}
+
+void Database::OnCrashTriggered(const CrashInfo& info) {
+  if (crash_policy_.mode != CrashRealism::kReal) {
+    return;
+  }
+  if (crash_sim_remaining_ > 0) {
+    // Deterministic replay after a worker restart: already-confirmed crashes
+    // take the simulated path again so the campaign retraces its stream.
+    --crash_sim_remaining_;
+    return;
+  }
+  if (crash_policy_.announce) {
+    crash_policy_.announce(info);
+  }
+  RaiseRealCrashSignal(info.crash);
+}
+
+void Database::InitWatchdog(ExecContext& ec) const {
+  const StatementLimits& limits = config_.statement_limits;
+  ec.fuel_remaining = limits.eval_fuel;
+  ec.max_rows = limits.max_rows;
+  ec.deadline_ns =
+      limits.deadline_ms > 0
+          ? static_cast<int64_t>(telemetry::MonotonicNowNs()) + limits.deadline_ms * 1000000
+          : 0;
+}
+
+Status ExecContext::CheckDeadline() const {
+  if (static_cast<int64_t>(telemetry::MonotonicNowNs()) > deadline_ns) {
+    return Timeout("statement watchdog: deadline exceeded");
+  }
+  return OkStatus();
 }
 
 const Table* Database::FindTable(const std::string& name) const {
@@ -67,6 +143,7 @@ Status Database::Insert(const InsertStmt& stmt, std::optional<CrashInfo>* crash)
   ExecContext ec;
   ec.db = this;
   ec.stage = Stage::kExecute;
+  InitWatchdog(ec);
   Evaluator eval(ec);
   RowBinding no_row;
 
@@ -108,6 +185,8 @@ Status Database::Insert(const InsertStmt& stmt, std::optional<CrashInfo>* crash)
 
 StatementResult Database::Execute(std::string_view sql) {
   StatementResult result;
+  const AlarmBackstop backstop(crash_policy_.alarm_backstop,
+                               config_.statement_limits.deadline_ms);
 
   // --- Parse stage ---------------------------------------------------------
   // Telemetry hook: the parse-stage histogram covers the parse-stage fault
@@ -121,6 +200,7 @@ StatementResult Database::Execute(std::string_view sql) {
     {
       ValueList probe = {Value::Str(std::string(sql))};
       if (auto crash = faults_.CheckFunction("PARSER", probe, 0, false, Stage::kParse)) {
+        OnCrashTriggered(*crash);  // no return under real-crash mode
         result.status = CrashStatus(crash->Summary());
         result.crash = std::move(*crash);
         return result;
@@ -142,6 +222,7 @@ StatementResult Database::ExecuteStatement(const Statement& stmt_in) {
   StatementResult result;
   ExecContext ec;
   ec.db = this;
+  InitWatchdog(ec);
 
   // --- Optimize stage ------------------------------------------------------
   // Telemetry hook: the optimize histogram covers tree cloning plus the

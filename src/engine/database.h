@@ -26,10 +26,27 @@
 
 namespace soft {
 
+struct ExecContext;
+
+// Cooperative statement-watchdog budgets (docs/ROBUSTNESS.md). The defaults
+// leave statements unbounded, matching the pre-watchdog engine. Deadlines are
+// wall-clock and therefore excluded from the determinism contract; fuel and
+// row budgets are pure counts and deterministic.
+struct StatementLimits {
+  int64_t deadline_ms = 0;  // wall-clock budget per statement; 0 = none → kTimeout
+  int64_t eval_fuel = -1;   // watchdog ticks per statement; -1 = unlimited
+                            // (Eval calls + executor row steps) → kResourceExhausted
+  int64_t max_rows = 0;     // rows materialized per statement; 0 = unlimited
+                            // → kResourceExhausted
+
+  bool operator==(const StatementLimits&) const = default;
+};
+
 struct EngineConfig {
   std::string name = "engine";
   CastOptions cast_options;
   EngineLimits limits;
+  StatementLimits statement_limits;
 };
 
 struct StatementResult {
@@ -61,6 +78,25 @@ class Database {
   SessionState& session() { return session_; }
   const EngineConfig& config() const { return config_; }
 
+  // Watchdog budgets applied to every subsequent statement (part of
+  // EngineConfig so config copies carry them).
+  void set_statement_limits(const StatementLimits& limits) {
+    config_.statement_limits = limits;
+  }
+  const StatementLimits& statement_limits() const { return config_.statement_limits; }
+
+  // Crash-realization policy (simulated vs real signals; see fault.h).
+  // Resets the simulate_first replay budget.
+  void set_crash_realism(CrashRealismPolicy policy);
+  const CrashRealismPolicy& crash_policy() const { return crash_policy_; }
+
+  // Invoked the moment an injected fault fires (ExecContext::RaiseCrash and
+  // the parse-stage probe). Under CrashRealism::kReal with the simulate_first
+  // budget exhausted this announces the crash and raises the real signal —
+  // it does not return. Otherwise it returns and the crash surfaces as a
+  // simulated kCrash StatementResult.
+  void OnCrashTriggered(const CrashInfo& info);
+
   // Executes one statement of SQL text through all three stages.
   StatementResult Execute(std::string_view sql);
 
@@ -82,7 +118,13 @@ class Database {
   size_t table_count() const { return tables_.size(); }
 
  private:
+  // Seeds an ExecContext's watchdog state from statement_limits (the deadline
+  // is anchored at call time). Defined in database.cc, which sees ExecContext.
+  void InitWatchdog(ExecContext& ec) const;
+
   EngineConfig config_;
+  CrashRealismPolicy crash_policy_;
+  int64_t crash_sim_remaining_ = 0;
   FunctionRegistry registry_;
   FaultEngine faults_;
   CoverageTracker coverage_;

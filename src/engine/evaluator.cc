@@ -105,15 +105,25 @@ Result<Value> EvalArithmetic(ExecContext& ec, const std::string& op, const Value
   return Internal("unknown arithmetic operator " + op);
 }
 
-// SQL LIKE with % and _ wildcards.
-bool LikeMatch(std::string_view text, std::string_view pattern) {
+// SQL LIKE with % and _ wildcards. The backtracking is exponential in the
+// number of '%'s, and recursion steps are invisible to the statement fuel
+// budget, so the matcher carries its own deterministic step budget: when
+// `budget` goes negative the match unwinds false and the caller reports
+// resource exhaustion.
+bool LikeMatch(std::string_view text, std::string_view pattern, int64_t& budget) {
+  if (--budget < 0) {
+    return false;
+  }
   if (pattern.empty()) {
     return text.empty();
   }
   if (pattern[0] == '%') {
     for (size_t skip = 0; skip <= text.size(); ++skip) {
-      if (LikeMatch(text.substr(skip), pattern.substr(1))) {
+      if (LikeMatch(text.substr(skip), pattern.substr(1), budget)) {
         return true;
+      }
+      if (budget < 0) {
+        return false;
       }
     }
     return false;
@@ -122,7 +132,7 @@ bool LikeMatch(std::string_view text, std::string_view pattern) {
     return false;
   }
   if (pattern[0] == '_' || pattern[0] == text[0]) {
-    return LikeMatch(text.substr(1), pattern.substr(1));
+    return LikeMatch(text.substr(1), pattern.substr(1), budget);
   }
   return false;
 }
@@ -142,6 +152,9 @@ Result<Value> CheckedCast(ExecContext& ec, const Value& v, TypeKind target) {
 }
 
 Result<Value> Evaluator::Eval(const Expr& e, const RowBinding& row) {
+  if (Status wd = ec_.CheckWatchdog(); !wd.ok()) {
+    return wd;
+  }
   if (++ec_.eval_depth > kMaxEvalDepth) {
     --ec_.eval_depth;
     return ResourceExhausted("expression evaluation too deep");
@@ -323,7 +336,12 @@ Result<Value> Evaluator::EvalBinaryOp(const Expr& e, const RowBinding& row) {
     if (text.size() > 4096 || pattern.size() > 1024) {
       return ResourceExhausted("LIKE operands exceed engine matcher limits");
     }
-    return Value::Boolean(LikeMatch(text, pattern));
+    int64_t budget = int64_t{1} << 22;  // deterministic matcher step cap
+    const bool matched = LikeMatch(text, pattern, budget);
+    if (budget < 0) {
+      return ResourceExhausted("LIKE matcher step budget exhausted");
+    }
+    return Value::Boolean(matched);
   }
   // Comparisons.
   if (a.is_null() || b.is_null()) {

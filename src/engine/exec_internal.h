@@ -22,12 +22,45 @@ struct ExecContext {
   int call_depth = 0;   // nested function-call depth
   int eval_depth = 0;   // total expression recursion depth
 
-  // Records a crash and produces the status that unwinds the evaluation.
+  // Statement-watchdog state, seeded by Database::InitWatchdog from the
+  // engine's StatementLimits. deadline_ns == 0 disables the deadline;
+  // fuel_remaining == -1 disables the fuel budget; max_rows == 0 disables
+  // the row budget.
+  int64_t deadline_ns = 0;     // absolute MonotonicNowNs() deadline
+  int64_t fuel_remaining = -1;
+  int64_t max_rows = 0;
+  uint32_t watchdog_tick = 0;
+
+  // Records a crash and produces the status that unwinds the evaluation. In
+  // real-crash mode the OnCrashTriggered call raises the actual signal and
+  // never returns.
   Status RaiseCrash(CrashInfo info) {
+    if (db != nullptr) {
+      db->OnCrashTriggered(info);
+    }
     Status status = CrashStatus(info.Summary());
     crash = std::move(info);
     return status;
   }
+
+  // One watchdog tick: charges a unit of fuel and, every 256 ticks, compares
+  // the wall clock against the statement deadline. Called from the evaluator
+  // entry and the executor row loops.
+  Status CheckWatchdog() {
+    if (fuel_remaining >= 0) {
+      if (fuel_remaining == 0) {  // stays pinned at 0 once exhausted
+        return ResourceExhausted("statement watchdog: evaluation fuel exhausted");
+      }
+      --fuel_remaining;
+    }
+    if (deadline_ns > 0 && (++watchdog_tick & 0xFFu) == 0) {
+      return CheckDeadline();
+    }
+    return OkStatus();
+  }
+
+  // The clock read, out of line (defined in database.cc).
+  Status CheckDeadline() const;
 };
 
 // Column-name → value binding for one row.

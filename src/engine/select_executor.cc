@@ -18,6 +18,15 @@ struct FromData {
   bool has_source = false;  // false → projection over a single empty row
 };
 
+// Row-materialization budget (StatementLimits::max_rows). Checked wherever a
+// SELECT grows its output row set.
+Status CheckRowBudget(const ExecContext& ec, size_t materialized) {
+  if (ec.max_rows > 0 && materialized > static_cast<size_t>(ec.max_rows)) {
+    return ResourceExhausted("statement watchdog: row budget exceeded");
+  }
+  return OkStatus();
+}
+
 Result<FromData> ResolveFrom(ExecContext& ec, const SelectStmt& sel) {
   FromData out;
   if (!sel.from_table.empty()) {
@@ -210,6 +219,7 @@ Result<QueryOutput> GroupedExecution::Project(const std::vector<std::string>& fr
     out.rows.push_back(std::move(row));
     out.source_rows.push_back(group.has_representative ? group.representative
                                                        : ValueList());
+    SOFT_RETURN_IF_ERROR(CheckRowBudget(ec_, out.rows.size()));
   }
   out.source_names = from_names;
   return out;
@@ -227,6 +237,7 @@ Result<QueryOutput> RunGrouped(ExecContext& ec, const SelectStmt& sel,
   GroupedExecution grouped(ec, sel, std::move(agg_calls));
 
   for (const ValueList& row : from.rows) {
+    SOFT_RETURN_IF_ERROR(ec.CheckWatchdog());
     RowBinding binding(from.names, &row);
     if (sel.where != nullptr) {
       Evaluator eval(ec);
@@ -289,6 +300,7 @@ Result<QueryOutput> RunPlain(ExecContext& ec, const SelectStmt& sel, const FromD
   }
 
   for (const ValueList& row : source_rows) {
+    SOFT_RETURN_IF_ERROR(ec.CheckWatchdog());
     RowBinding binding(from.names, from.has_source ? &row : nullptr);
     Evaluator eval(ec);
     if (sel.where != nullptr) {
@@ -316,6 +328,7 @@ Result<QueryOutput> RunPlain(ExecContext& ec, const SelectStmt& sel, const FromD
     }
     out.rows.push_back(std::move(out_row));
     out.source_rows.push_back(row);
+    SOFT_RETURN_IF_ERROR(CheckRowBudget(ec, out.rows.size()));
   }
   out.source_names = from.names;
   return out;
@@ -329,6 +342,7 @@ Status ApplyOrderBy(ExecContext& ec, const SelectStmt& sel, QueryOutput& out) {
   // un-projected source columns via the snapshot taken at projection time.
   std::vector<ValueList> keys(out.rows.size());
   for (size_t r = 0; r < out.rows.size(); ++r) {
+    SOFT_RETURN_IF_ERROR(ec.CheckWatchdog());
     RowBinding binding(out.columns, &out.rows[r]);
     Evaluator eval(ec);
     for (const OrderItem& item : sel.order_by) {
@@ -421,6 +435,7 @@ Status UnifyUnion(ExecContext& ec, QueryOutput& left, QueryOutput&& right, bool 
   for (ValueList& row : right.rows) {
     left.rows.push_back(std::move(row));
   }
+  SOFT_RETURN_IF_ERROR(CheckRowBudget(ec, left.rows.size()));
   if (!union_all) {
     std::set<std::string> seen;
     std::vector<ValueList> deduped;

@@ -1,5 +1,8 @@
 #include "src/fault/fault.h"
 
+#include <csignal>
+#include <cstdlib>
+
 #include "src/sqlvalue/geometry.h"
 #include "src/sqlvalue/json.h"
 #include "src/util/str_util.h"
@@ -48,6 +51,89 @@ std::string_view CrashTypeLongName(CrashType type) {
       return "divide-by-zero";
   }
   return "?";
+}
+
+int ExpectedSignalFor(CrashType type) {
+  switch (type) {
+    case CrashType::kAssertionFailure:
+      return SIGABRT;
+    case CrashType::kDivideByZero:
+      return SIGFPE;
+    default:
+      // The pointer bugs (NPD/SEGV/UAF/HBOF/GBOF) and stack exhaustion all
+      // die by SIGSEGV under default dispositions.
+      return SIGSEGV;
+  }
+}
+
+namespace {
+
+// Resets the fatal-signal dispositions sanitizers/harnesses may have
+// installed: real-crash mode wants the kernel default (terminate by signal)
+// so the supervisor can decode WTERMSIG, even under ASan.
+void ResetFatalHandlers() {
+  std::signal(SIGSEGV, SIG_DFL);
+  std::signal(SIGBUS, SIG_DFL);
+  std::signal(SIGABRT, SIG_DFL);
+  std::signal(SIGFPE, SIG_DFL);
+  std::signal(SIGILL, SIG_DFL);
+}
+
+// Real stack exhaustion: recursion with genuine frames. The volatile
+// traffic keeps the optimizer from collapsing the recursion, and the
+// data-dependent branch keeps -Winfinite-recursion quiet.
+__attribute__((noinline)) int ExhaustStack(volatile char* parent) {
+  volatile char frame[4096];
+  frame[0] = parent == nullptr ? 1 : parent[0];
+  if (frame[0] != 0) {
+    return frame[0] + ExhaustStack(frame);
+  }
+  return 0;
+}
+
+}  // namespace
+
+void RaiseRealCrashSignal(CrashType type) {
+  ResetFatalHandlers();
+  switch (type) {
+    case CrashType::kNullPointerDereference: {
+      volatile int* p = nullptr;
+      *p = 1;  // genuine null dereference
+      break;
+    }
+    case CrashType::kSegmentationViolation:
+    case CrashType::kUseAfterFree:
+    case CrashType::kHeapBufferOverflow:
+    case CrashType::kGlobalBufferOverflow:
+      // Performing the literal bad access would be undefined behaviour the
+      // compiler may legally fold away; what the supervisor observes either
+      // way is death by SIGSEGV, so deliver exactly that.
+      std::raise(SIGSEGV);
+      break;
+    case CrashType::kAssertionFailure:
+      std::abort();
+    case CrashType::kDivideByZero: {
+      volatile int zero = 0;
+      volatile int out = 1 / zero;
+      (void)out;
+      std::raise(SIGFPE);  // in case the hardware did not trap the division
+      break;
+    }
+    case CrashType::kStackOverflow: {
+      // Cap the exhaustion with an alternate signal stack so any handler a
+      // sanitizer reinstates still has room to report instead of
+      // double-faulting; under SIG_DFL the guard-page fault kills us.
+      static char alt_stack[64 * 1024];
+      stack_t ss = {};
+      ss.ss_sp = alt_stack;
+      ss.ss_size = sizeof(alt_stack);
+      sigaltstack(&ss, nullptr);
+      ExhaustStack(nullptr);
+      std::raise(SIGSEGV);
+      break;
+    }
+  }
+  std::abort();  // unreachable under default dispositions; keep [[noreturn]] honest
 }
 
 std::string_view StageName(Stage stage) {

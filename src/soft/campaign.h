@@ -3,6 +3,7 @@
 #define SRC_SOFT_CAMPAIGN_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -10,6 +11,38 @@
 #include "src/telemetry/telemetry.h"
 
 namespace soft {
+
+// Periodic campaign progress record: the journal's `checkpoint` event and the
+// worker pipe's checkpoint lines (docs/ROBUSTNESS.md). Fuzzer execution loops
+// emit one every CampaignOptions::checkpoint_every executed statements. The
+// rng_fingerprint and dedup_digest exist so --resume can *verify* that its
+// deterministic replay retraced the interrupted campaign rather than trusting
+// the journal blindly.
+struct CampaignCheckpoint {
+  int every = 0;            // the cadence the producer was running with
+  int shard = 0;
+  int cases_completed = 0;  // statements executed when this was taken
+  int sql_errors = 0;
+  int crashes_observed = 0;
+  int false_positives = 0;
+  int watchdog_timeouts = 0;
+  int unique_bugs = 0;
+  uint64_t rng_fingerprint = 0;  // Rng::StateFingerprint() at emission
+  uint64_t dedup_digest = 0;     // FNV-1a over found bug ids, discovery order
+
+  bool operator==(const CampaignCheckpoint&) const = default;
+};
+
+// FNV-1a step folding one found bug id into the dedup-set digest.
+inline uint64_t DedupDigestStep(uint64_t digest, int bug_id) {
+  const uint64_t v = static_cast<uint64_t>(bug_id);
+  for (int shift = 0; shift < 64; shift += 8) {
+    digest ^= (v >> shift) & 0xFFu;
+    digest *= 0x100000001B3ull;
+  }
+  return digest;
+}
+inline constexpr uint64_t kDedupDigestSeed = 0xCBF29CE484222325ull;
 
 struct CampaignOptions {
   uint64_t seed = 1;
@@ -30,6 +63,24 @@ struct CampaignOptions {
   // baselines) ignore these fields and are sharded by budget split instead.
   int shard_index = 0;
   int shard_count = 1;
+
+  // Crash realization (src/fault/fault.h). kReal is honoured by the sharded
+  // runner, which dispatches each shard to a forked worker whose supervisor
+  // decodes the death; calling Fuzzer::Run directly under kReal would kill
+  // the calling process at the first triggered bug.
+  CrashRealism crash_realism = CrashRealism::kSimulated;
+
+  // Statement-watchdog budgets, applied to the campaign database at Run
+  // start. Statements killed by the deadline count as watchdog_timeouts;
+  // fuel/row kills surface as kResourceExhausted (false positives).
+  StatementLimits statement_limits;
+
+  // Checkpointing: with checkpoint_every > 0 and a sink installed, the
+  // execution loop invokes the sink every checkpoint_every executed
+  // statements. Campaign runs ignore the sink's cost — it must not perturb
+  // determinism (write-only).
+  int checkpoint_every = 0;
+  std::function<void(const CampaignCheckpoint&)> checkpoint_sink;
 };
 
 struct FoundBug {
@@ -57,6 +108,7 @@ struct CampaignResult {
   int sql_errors = 0;
   int crashes_observed = 0;        // crash events incl. duplicates
   int false_positives = 0;         // resource-limit kills (REPEAT(...,1e10) class)
+  int watchdog_timeouts = 0;       // statement-deadline kills (kTimeout)
   std::vector<FoundBug> unique_bugs;
 
   // Coverage snapshot after the campaign (Table 5 / Table 6 quantities).
@@ -78,6 +130,23 @@ struct CampaignResult {
   telemetry::CampaignTelemetry telemetry;
   std::vector<telemetry::CampaignTelemetry> shard_telemetry;
 };
+
+inline CampaignCheckpoint MakeCheckpoint(const CampaignOptions& options,
+                                         const CampaignResult& result,
+                                         uint64_t rng_fingerprint, uint64_t dedup_digest) {
+  CampaignCheckpoint cp;
+  cp.every = options.checkpoint_every;
+  cp.shard = options.shard_index;
+  cp.cases_completed = result.statements_executed;
+  cp.sql_errors = result.sql_errors;
+  cp.crashes_observed = result.crashes_observed;
+  cp.false_positives = result.false_positives;
+  cp.watchdog_timeouts = result.watchdog_timeouts;
+  cp.unique_bugs = static_cast<int>(result.unique_bugs.size());
+  cp.rng_fingerprint = rng_fingerprint;
+  cp.dedup_digest = dedup_digest;
+  return cp;
+}
 
 // Common interface so the comparison benches can run the four tools
 // uniformly.

@@ -40,6 +40,20 @@ ParallelCampaignRunner::ParallelCampaignRunner(FuzzerFactory make_fuzzer,
 ParallelCampaignRunner::ShardOutcome ParallelCampaignRunner::RunShard(
     const ShardPlan& plan) const {
   ShardOutcome outcome;
+  if (plan.options.crash_realism == CrashRealism::kReal) {
+    // Real crashes must not kill the campaign process: run the shard inside
+    // supervised forked workers. Deterministic replay makes the returned
+    // result bit-identical to the simulated in-process path.
+    WorkerShardOutcome worker = RunShardInWorkerProcess(
+        make_fuzzer_, make_database_, plan.options, worker_options_);
+    outcome.result = std::move(worker.result);
+    outcome.coverage = std::move(worker.coverage);
+    outcome.stats = worker.stats;
+    for (FoundBug& bug : outcome.result.unique_bugs) {
+      bug.shard = plan.shard;
+    }
+    return outcome;
+  }
   std::unique_ptr<Database> db = make_database_();
   std::unique_ptr<Fuzzer> fuzzer = make_fuzzer_();
   if (db == nullptr || fuzzer == nullptr) {
@@ -64,12 +78,17 @@ CampaignResult ParallelCampaignRunner::Merge(std::vector<ShardOutcome> outcomes)
 
   CoverageTracker coverage;
   std::vector<FoundBug> witnesses;
+  worker_stats_ = WorkerRunStats{};
+  for (const ShardOutcome& outcome : outcomes) {
+    worker_stats_.MergeFrom(outcome.stats);
+  }
   for (const ShardOutcome& outcome : outcomes) {
     const CampaignResult& r = outcome.result;
     merged.statements_executed += r.statements_executed;
     merged.sql_errors += r.sql_errors;
     merged.crashes_observed += r.crashes_observed;
     merged.false_positives += r.false_positives;
+    merged.watchdog_timeouts += r.watchdog_timeouts;
     merged.shard_statements.push_back(r.statements_executed);
     // Telemetry merges by per-bucket / per-counter sum, walking shards in
     // index order; the merged snapshot is a pure function of the shard

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "src/soft/campaign.h"
+#include "src/soft/worker.h"
 
 namespace soft {
 
@@ -83,12 +84,24 @@ class ParallelCampaignRunner {
   CampaignResult RunSerial(const CampaignOptions& options, int shards,
                            ShardMode mode = ShardMode::kSplitBudget) const;
 
+  // Supervision knobs for real-crash campaigns (options.crash_realism ==
+  // CrashRealism::kReal): each shard then runs inside forked worker
+  // processes via RunShardInWorkerProcess. Ignored in simulated mode.
+  void set_worker_options(const WorkerOptions& options) { worker_options_ = options; }
+
+  // Supervision statistics aggregated across shards by the most recent
+  // Run/RunSerial call (zeroed at each merge). Only populated by real-crash
+  // campaigns.
+  const WorkerRunStats& worker_stats() const { return worker_stats_; }
+
  private:
   struct ShardOutcome {
     CampaignResult result;
     // Snapshot of the shard database's tracker, merged across shards so the
     // campaign-level coverage counts are a true union (not a sum).
     CoverageTracker coverage;
+    // Worker-supervision record for this shard (real-crash mode only).
+    WorkerRunStats stats;
   };
 
   ShardOutcome RunShard(const ShardPlan& plan) const;
@@ -96,6 +109,9 @@ class ParallelCampaignRunner {
 
   FuzzerFactory make_fuzzer_;
   DatabaseFactory make_database_;
+  WorkerOptions worker_options_;
+  // Written only by Merge, which runs on the thread that called Run/RunSerial.
+  mutable WorkerRunStats worker_stats_;
 };
 
 // Convenience for the common case: run `fuzzer factory` shards against fresh

@@ -26,6 +26,7 @@ CampaignResult SoftFuzzer::Run(Database& db, const CampaignOptions& options) {
 
   const size_t expected_bugs = db.faults().bug_count();
   Rng rng(options.seed);
+  db.set_statement_limits(options.statement_limits);
 
   // Step 1: function-expression collection (documentation + suite).
   const std::vector<std::string> suite = SeedSuiteFor(db.config().name);
@@ -115,17 +116,20 @@ CampaignResult SoftFuzzer::Run(Database& db, const CampaignOptions& options) {
                             ? static_cast<size_t>(options.max_statements)
                             : size_t{0};
   std::set<int> found_ids;
+  uint64_t dedup_digest = kDedupDigestSeed;
   for (size_t case_index = shard_index;
        case_index < cases.size() && case_index < budget; case_index += shard_count) {
     const GeneratedCase& test_case = cases[case_index];
     ++result.statements_executed;
     telemetry::CountExecuted(test_case.pattern);
     const StatementResult r = db.Execute(test_case.sql);
+    bool stop = false;
     if (r.crashed()) {
       ++result.crashes_observed;
       telemetry::CountCrash(test_case.pattern);
       if (found_ids.insert(r.crash->bug_id).second) {
         telemetry::CountBugDeduped(test_case.pattern);
+        dedup_digest = DedupDigestStep(dedup_digest, r.crash->bug_id);
         FoundBug bug;
         bug.crash = *r.crash;
         bug.poc_sql = test_case.sql;
@@ -135,22 +139,29 @@ CampaignResult SoftFuzzer::Run(Database& db, const CampaignOptions& options) {
             static_cast<int64_t>(telemetry::WallSinceCollectorStartNs());
         result.unique_bugs.push_back(std::move(bug));
       }
-      if (options.stop_when_all_bugs_found && found_ids.size() >= expected_bugs) {
-        break;
-      }
-      continue;
-    }
-    if (r.status.code() == StatusCode::kResourceExhausted) {
+      stop = options.stop_when_all_bugs_found && found_ids.size() >= expected_bugs;
+    } else if (r.status.code() == StatusCode::kTimeout) {
+      // The statement watchdog killed the query at its deadline: a clean
+      // termination, counted separately from crashes and false positives.
+      ++result.watchdog_timeouts;
+      telemetry::CountTimeout(test_case.pattern);
+    } else if (r.status.code() == StatusCode::kResourceExhausted) {
       // The server killed the query on a resource limit: initially flagged
       // as a crash by the detector, later triaged as a false positive
       // (Section 7.3's REPEAT('a', 9999999999) class).
       ++result.false_positives;
       telemetry::CountFalsePositive(test_case.pattern);
-      continue;
-    }
-    if (!r.ok()) {
+    } else if (!r.ok()) {
       ++result.sql_errors;
       telemetry::CountSqlError(test_case.pattern);
+    }
+    if (options.checkpoint_every > 0 && options.checkpoint_sink &&
+        result.statements_executed % options.checkpoint_every == 0) {
+      options.checkpoint_sink(
+          MakeCheckpoint(options, result, rng.StateFingerprint(), dedup_digest));
+    }
+    if (stop) {
+      break;
     }
   }
 

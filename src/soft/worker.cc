@@ -1,0 +1,420 @@
+// Fork+pipe worker harness for real-crash shard execution. Protocol and
+// supervision semantics are documented in worker.h and docs/ROBUSTNESS.md.
+//
+// Pipe line protocol (child → supervisor, one record per '\n'-terminated
+// line, space-separated tokens; strings hex-encoded, "-" for empty):
+//
+//   C  <bug_id> <dbms> <function> <crash> <stage> <pattern> <description>
+//        crash announcement, flushed before the signal is raised
+//   K  <every> <shard> <cases> <sql_errors> <crashes> <fps> <timeouts>
+//        <unique_bugs> <rng_fingerprint> <dedup_digest>
+//        checkpoint record, forwarded to the shard's checkpoint sink
+//   RES/SST/BUG/CVB/TLS/TLP/END
+//        the completed CampaignResult + coverage + telemetry block, written
+//        only by a child that finished its campaign
+#include "src/soft/worker.h"
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace soft {
+namespace {
+
+// --- token encoding --------------------------------------------------------
+
+std::string HexEncode(const std::string& s) {
+  if (s.empty()) {
+    return "-";
+  }
+  static const char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(s.size() * 2);
+  for (const unsigned char c : s) {
+    out.push_back(kDigits[c >> 4]);
+    out.push_back(kDigits[c & 0xF]);
+  }
+  return out;
+}
+
+std::string HexDecode(const std::string& s) {
+  if (s == "-") {
+    return "";
+  }
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    return 0;
+  };
+  std::string out;
+  out.reserve(s.size() / 2);
+  for (size_t i = 0; i + 1 < s.size(); i += 2) {
+    out.push_back(static_cast<char>((nibble(s[i]) << 4) | nibble(s[i + 1])));
+  }
+  return out;
+}
+
+// Writes the whole line (append '\n') to fd, looping over partial writes.
+// Only write(2) — safe to call right before raising a fatal signal.
+void WriteLine(int fd, const std::string& line) {
+  std::string buf = line;
+  buf.push_back('\n');
+  size_t off = 0;
+  while (off < buf.size()) {
+    const ssize_t n = ::write(fd, buf.data() + off, buf.size() - off);
+    if (n <= 0) {
+      return;  // supervisor gone; nothing useful left to do
+    }
+    off += static_cast<size_t>(n);
+  }
+}
+
+// --- record serialization --------------------------------------------------
+
+std::string EncodeCrash(const CrashInfo& info) {
+  std::ostringstream out;
+  out << info.bug_id << ' ' << HexEncode(info.dbms) << ' ' << HexEncode(info.function)
+      << ' ' << static_cast<int>(info.crash) << ' ' << static_cast<int>(info.stage)
+      << ' ' << HexEncode(info.pattern) << ' ' << HexEncode(info.description);
+  return out.str();
+}
+
+bool DecodeCrash(std::istringstream& in, CrashInfo& info) {
+  int crash = 0, stage = 0;
+  std::string dbms, function, pattern, description;
+  if (!(in >> info.bug_id >> dbms >> function >> crash >> stage >> pattern >>
+        description)) {
+    return false;
+  }
+  info.dbms = HexDecode(dbms);
+  info.function = HexDecode(function);
+  info.crash = static_cast<CrashType>(crash);
+  info.stage = static_cast<Stage>(stage);
+  info.pattern = HexDecode(pattern);
+  info.description = HexDecode(description);
+  return true;
+}
+
+std::string EncodeCheckpoint(const CampaignCheckpoint& cp) {
+  std::ostringstream out;
+  out << cp.every << ' ' << cp.shard << ' ' << cp.cases_completed << ' '
+      << cp.sql_errors << ' ' << cp.crashes_observed << ' ' << cp.false_positives
+      << ' ' << cp.watchdog_timeouts << ' ' << cp.unique_bugs << ' '
+      << cp.rng_fingerprint << ' ' << cp.dedup_digest;
+  return out.str();
+}
+
+bool DecodeCheckpoint(std::istringstream& in, CampaignCheckpoint& cp) {
+  return static_cast<bool>(in >> cp.every >> cp.shard >> cp.cases_completed >>
+                           cp.sql_errors >> cp.crashes_observed >> cp.false_positives >>
+                           cp.watchdog_timeouts >> cp.unique_bugs >>
+                           cp.rng_fingerprint >> cp.dedup_digest);
+}
+
+void WriteResultBlock(int fd, const CampaignResult& result,
+                      const CoverageTracker& coverage) {
+  {
+    std::ostringstream out;
+    out << "RES " << HexEncode(result.tool) << ' ' << HexEncode(result.dialect) << ' '
+        << result.statements_executed << ' ' << result.sql_errors << ' '
+        << result.crashes_observed << ' ' << result.false_positives << ' '
+        << result.watchdog_timeouts << ' ' << result.functions_triggered << ' '
+        << result.branches_covered << ' ' << result.shards;
+    WriteLine(fd, out.str());
+  }
+  for (const int n : result.shard_statements) {
+    WriteLine(fd, "SST " + std::to_string(n));
+  }
+  for (const FoundBug& bug : result.unique_bugs) {
+    std::ostringstream out;
+    out << "BUG " << EncodeCrash(bug.crash) << ' ' << HexEncode(bug.found_by) << ' '
+        << HexEncode(bug.poc_sql) << ' ' << bug.statements_until_found << ' '
+        << bug.shard << ' ' << bug.found_wall_ns;
+    WriteLine(fd, out.str());
+  }
+  for (const std::string& key : coverage.BranchKeys()) {
+    WriteLine(fd, "CVB " + HexEncode(key));
+  }
+  for (size_t i = 0; i < telemetry::kStageCount; ++i) {
+    const telemetry::LatencyHistogram& h = result.telemetry.stage_latency[i];
+    std::ostringstream out;
+    out << "TLS " << i << ' ' << h.samples << ' ' << h.total_ns << ' ' << h.max_ns;
+    for (const uint64_t b : h.buckets) {
+      out << ' ' << b;
+    }
+    WriteLine(fd, out.str());
+  }
+  for (const auto& [pattern, c] : result.telemetry.patterns) {
+    std::ostringstream out;
+    out << "TLP " << HexEncode(pattern) << ' ' << c.generated << ' ' << c.executed
+        << ' ' << c.crashes << ' ' << c.bugs_deduped << ' ' << c.sql_errors << ' '
+        << c.false_positives << ' ' << c.timeouts;
+    WriteLine(fd, out.str());
+  }
+  WriteLine(fd, "END");
+}
+
+// --- child -----------------------------------------------------------------
+
+[[noreturn]] void RunWorkerChild(int fd, const WorkerFuzzerFactory& make_fuzzer,
+                                 const WorkerDatabaseFactory& make_database,
+                                 CampaignOptions options,
+                                 const WorkerOptions& worker_options,
+                                 int simulate_first, bool die_silently) {
+  if (die_silently) {
+    ::_exit(86);  // test hook: unannounced startup death
+  }
+  std::unique_ptr<Database> db = make_database();
+  std::unique_ptr<Fuzzer> fuzzer = make_fuzzer();
+  if (db == nullptr || fuzzer == nullptr) {
+    ::_exit(87);
+  }
+
+  int announce_ordinal = 0;
+  CrashRealismPolicy policy;
+  policy.mode = CrashRealism::kReal;
+  policy.simulate_first = simulate_first;
+  policy.alarm_backstop = options.statement_limits.deadline_ms > 0;
+  policy.announce = [fd, &announce_ordinal, &worker_options](const CrashInfo& info) {
+    const int ordinal = announce_ordinal++;
+    if (ordinal == worker_options.test_kill9_at_crash) {
+      ::raise(SIGKILL);
+    }
+    if (ordinal == worker_options.test_hang_at_crash) {
+      for (;;) {
+        ::pause();  // the SIGALRM backstop (or the supervisor) ends this
+      }
+    }
+    WriteLine(fd, "C " + EncodeCrash(info));
+  };
+  db->set_crash_realism(std::move(policy));
+
+  // Checkpoints stream over the pipe; the supervisor forwards them to the
+  // shard's original sink with restart duplicates filtered.
+  options.checkpoint_sink = [fd](const CampaignCheckpoint& cp) {
+    WriteLine(fd, "K " + EncodeCheckpoint(cp));
+  };
+
+  const CampaignResult result = fuzzer->Run(*db, options);
+  WriteResultBlock(fd, result, db->coverage());
+  ::_exit(0);  // skip atexit/leak machinery; the pipe already holds the result
+}
+
+// --- supervisor-side stream parsing ---------------------------------------
+
+struct ChildStream {
+  bool announced = false;
+  CrashInfo crash;       // last (only) announcement of this child life
+  bool complete = false;
+  CampaignResult result;
+  CoverageTracker coverage;
+};
+
+void ParseChildLine(const std::string& line, ChildStream& stream,
+                    const std::function<void(const CampaignCheckpoint&)>& on_checkpoint) {
+  if (line.empty()) {
+    return;
+  }
+  std::istringstream in(line);
+  std::string tag;
+  in >> tag;
+  if (tag == "C") {
+    CrashInfo info;
+    if (DecodeCrash(in, info)) {
+      stream.crash = std::move(info);
+      stream.announced = true;
+    }
+  } else if (tag == "K") {
+    CampaignCheckpoint cp;
+    if (DecodeCheckpoint(in, cp) && on_checkpoint) {
+      on_checkpoint(cp);
+    }
+  } else if (tag == "RES") {
+    std::string tool, dialect;
+    in >> tool >> dialect >> stream.result.statements_executed >>
+        stream.result.sql_errors >> stream.result.crashes_observed >>
+        stream.result.false_positives >> stream.result.watchdog_timeouts >>
+        stream.result.functions_triggered >> stream.result.branches_covered >>
+        stream.result.shards;
+    stream.result.tool = HexDecode(tool);
+    stream.result.dialect = HexDecode(dialect);
+  } else if (tag == "SST") {
+    int n = 0;
+    if (in >> n) {
+      stream.result.shard_statements.push_back(n);
+    }
+  } else if (tag == "BUG") {
+    FoundBug bug;
+    std::string found_by, poc;
+    if (DecodeCrash(in, bug.crash) &&
+        (in >> found_by >> poc >> bug.statements_until_found >> bug.shard >>
+         bug.found_wall_ns)) {
+      bug.found_by = HexDecode(found_by);
+      bug.poc_sql = HexDecode(poc);
+      stream.result.unique_bugs.push_back(std::move(bug));
+    }
+  } else if (tag == "CVB") {
+    std::string key;
+    if (in >> key) {
+      stream.coverage.RestoreBranchKey(HexDecode(key));
+    }
+  } else if (tag == "TLS") {
+    size_t stage = 0;
+    telemetry::LatencyHistogram h;
+    in >> stage >> h.samples >> h.total_ns >> h.max_ns;
+    for (uint64_t& b : h.buckets) {
+      in >> b;
+    }
+    if (in && stage < telemetry::kStageCount) {
+      stream.result.telemetry.stage_latency[stage] = h;
+    }
+  } else if (tag == "TLP") {
+    std::string pattern;
+    telemetry::PatternCounters c;
+    if (in >> pattern >> c.generated >> c.executed >> c.crashes >> c.bugs_deduped >>
+        c.sql_errors >> c.false_positives >> c.timeouts) {
+      stream.result.telemetry.patterns[HexDecode(pattern)] = c;
+    }
+  } else if (tag == "END") {
+    stream.complete = true;
+  }
+  // Unknown tags are ignored: a child killed mid-write leaves a torn last
+  // line, which must not poison the supervision loop.
+}
+
+ChildStream ReadChildStream(
+    int fd, const std::function<void(const CampaignCheckpoint&)>& on_checkpoint) {
+  ChildStream stream;
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n <= 0) {
+      break;  // EOF (child exited) or error — either way the stream is over
+    }
+    buffer.append(chunk, static_cast<size_t>(n));
+    size_t start = 0;
+    for (;;) {
+      const size_t nl = buffer.find('\n', start);
+      if (nl == std::string::npos) {
+        break;
+      }
+      ParseChildLine(buffer.substr(start, nl - start), stream, on_checkpoint);
+      start = nl + 1;
+    }
+    buffer.erase(0, start);
+  }
+  return stream;
+}
+
+}  // namespace
+
+WorkerShardOutcome RunShardInWorkerProcess(const WorkerFuzzerFactory& make_fuzzer,
+                                           const WorkerDatabaseFactory& make_database,
+                                           CampaignOptions options,
+                                           const WorkerOptions& worker_options) {
+  WorkerShardOutcome outcome;
+
+  // Restart duplicates: a replaying child re-emits checkpoints it already
+  // streamed in a previous life; forward only strictly-new progress.
+  const auto original_sink = options.checkpoint_sink;
+  int max_forwarded_cases = 0;
+  const auto forward_checkpoint = [&](const CampaignCheckpoint& cp) {
+    if (!original_sink || cp.cases_completed <= max_forwarded_cases) {
+      return;
+    }
+    max_forwarded_cases = cp.cases_completed;
+    original_sink(cp);
+  };
+
+  int confirmed_crashes = 0;
+  int consecutive_unannounced = 0;
+  int backoff_ms = worker_options.backoff_initial_ms;
+
+  for (;;) {
+    if (consecutive_unannounced >= worker_options.max_consecutive_deaths) {
+      // Degradation ladder's last rung: finish the shard in-process with
+      // simulated crashes. Deterministic replay makes this produce the same
+      // campaign the real-crash path would have.
+      outcome.stats.degraded_to_simulated = true;
+      std::unique_ptr<Database> db = make_database();
+      std::unique_ptr<Fuzzer> fuzzer = make_fuzzer();
+      if (db == nullptr || fuzzer == nullptr) {
+        return outcome;
+      }
+      CampaignOptions degraded = options;
+      degraded.crash_realism = CrashRealism::kSimulated;
+      degraded.checkpoint_sink = forward_checkpoint;
+      outcome.result = fuzzer->Run(*db, degraded);
+      outcome.coverage = db->coverage();
+      return outcome;
+    }
+
+    int fds[2];
+    if (::pipe(fds) != 0) {
+      ++consecutive_unannounced;
+      continue;
+    }
+    ++outcome.stats.forks;
+    const bool die_silently = outcome.stats.forks <= worker_options.test_silent_deaths;
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(fds[0]);
+      ::close(fds[1]);
+      ++outcome.stats.unexpected_deaths;
+      ++consecutive_unannounced;
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms = std::min(backoff_ms * 2, worker_options.backoff_max_ms);
+      continue;
+    }
+    if (pid == 0) {
+      ::close(fds[0]);
+      RunWorkerChild(fds[1], make_fuzzer, make_database, options, worker_options,
+                     confirmed_crashes, die_silently);
+    }
+    ::close(fds[1]);
+    ChildStream stream = ReadChildStream(fds[0], forward_checkpoint);
+    ::close(fds[0]);
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+
+    if (stream.complete) {
+      outcome.result = std::move(stream.result);
+      outcome.coverage = std::move(stream.coverage);
+      return outcome;
+    }
+    if (stream.announced) {
+      // The expected real-crash path: the pipe identity is authoritative;
+      // the exit signal is recorded as a cross-check.
+      ++confirmed_crashes;
+      ++outcome.stats.real_crashes;
+      consecutive_unannounced = 0;
+      backoff_ms = worker_options.backoff_initial_ms;
+      if (WIFSIGNALED(status) &&
+          WTERMSIG(status) == ExpectedSignalFor(stream.crash.crash)) {
+        ++outcome.stats.matched_signals;
+      } else {
+        ++outcome.stats.mismatched_signals;
+      }
+      continue;
+    }
+    ++outcome.stats.unexpected_deaths;
+    if (WIFSIGNALED(status) && WTERMSIG(status) == SIGALRM) {
+      ++outcome.stats.alarm_kills;
+    }
+    ++consecutive_unannounced;
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    backoff_ms = std::min(backoff_ms * 2, worker_options.backoff_max_ms);
+  }
+}
+
+}  // namespace soft

@@ -8,10 +8,21 @@
 namespace soft {
 namespace {
 
-// Maximum expression nesting the parser accepts; beyond this it reports a
+// Maximum recursion budget the parser accepts; beyond this it reports a
 // parse-stage resource error (a real parser would risk a stack overflow —
-// one of the injected parse-stage bug classes keys on this depth).
+// one of the injected parse-stage bug classes keys on this depth). The
+// budget is shared between expression nesting (one unit per precedence
+// level, threaded as the `depth` parameter) and SELECT nesting (charged to
+// the member counter `depth_used_` below, so it survives the `ParseExpr(0)`
+// resets at clause boundaries — parenthesized selects, subqueries, and
+// UNION chains all recurse through ParseSelect).
 constexpr int kMaxParseDepth = 4000;
+
+// One SELECT level costs this much of the shared budget: descending into a
+// subquery stacks the full precedence chain plus the select-clause
+// machinery — many real stack frames — where one parenthesized expression
+// level costs roughly one frame per precedence step.
+constexpr int kSelectDepthCost = 16;
 
 class Parser {
  public:
@@ -50,6 +61,22 @@ class Parser {
   }
 
  private:
+  // Charges a fixed slice of the recursion budget for the lifetime of one
+  // recursive call (ParseSelect); the caller checks the limit first.
+  class DepthGuard {
+   public:
+    DepthGuard(Parser& parser, int cost) : parser_(parser), cost_(cost) {
+      parser_.depth_used_ += cost_;
+    }
+    ~DepthGuard() { parser_.depth_used_ -= cost_; }
+    DepthGuard(const DepthGuard&) = delete;
+    DepthGuard& operator=(const DepthGuard&) = delete;
+
+   private:
+    Parser& parser_;
+    int cost_;
+  };
+
   const Token& Peek(size_t ahead = 0) const {
     const size_t idx = pos_ + ahead;
     return idx < tokens_.size() ? tokens_[idx] : tokens_.back();
@@ -106,6 +133,10 @@ class Parser {
   // ---- SELECT --------------------------------------------------------------
 
   Result<std::unique_ptr<SelectStmt>> ParseSelect() {
+    if (depth_used_ + kSelectDepthCost > kMaxParseDepth) {
+      return ResourceExhausted("statement nesting too deep for parser");
+    }
+    const DepthGuard guard(*this, kSelectDepthCost);
     // Parenthesized select branch: ( SELECT ... )
     if (Peek().IsOp("(")) {
       Advance();
@@ -379,7 +410,7 @@ class Parser {
   // multiplicative(* / %), unary(- +), postfix '::', primary.
 
   Result<ExprPtr> ParseExpr(int depth) {
-    if (depth > kMaxParseDepth) {
+    if (depth_used_ + depth > kMaxParseDepth) {
       return ResourceExhausted("expression nesting too deep for parser");
     }
     return ParseOr(depth);
@@ -522,7 +553,7 @@ class Parser {
   }
 
   Result<ExprPtr> ParsePrimary(int depth) {
-    if (depth > kMaxParseDepth) {
+    if (depth_used_ + depth > kMaxParseDepth) {
       return ResourceExhausted("expression nesting too deep for parser");
     }
     const Token& t = Peek();
@@ -682,6 +713,9 @@ class Parser {
 
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  // Recursion budget consumed by in-flight ParseSelect frames (see
+  // kSelectDepthCost); added to the expression `depth` at every limit check.
+  int depth_used_ = 0;
 };
 
 }  // namespace

@@ -201,18 +201,41 @@ std::string CampaignTelemetry::ToJson() const {
     out += ",\"bugs_deduped\":" + std::to_string(counters.bugs_deduped);
     out += ",\"sql_errors\":" + std::to_string(counters.sql_errors);
     out += ",\"false_positives\":" + std::to_string(counters.false_positives);
+    out += ",\"timeouts\":" + std::to_string(counters.timeouts);
     out += "}";
   }
   out += "}}";
   return out;
 }
 
-void WriteCampaignJournal(std::ostream& out, const CampaignOptions& options,
-                          const CampaignResult& result, uint64_t wall_ns) {
-  out << "{\"event\":\"campaign_start\",\"tool\":\"" << EscapeJson(result.tool)
-      << "\",\"dialect\":\"" << EscapeJson(result.dialect)
+void WriteCampaignStart(std::ostream& out, const CampaignOptions& options,
+                        const std::string& tool, const std::string& dialect,
+                        int shards) {
+  out << "{\"event\":\"campaign_start\",\"tool\":\"" << EscapeJson(tool)
+      << "\",\"dialect\":\"" << EscapeJson(dialect)
       << "\",\"seed\":" << options.seed << ",\"budget\":" << options.max_statements
-      << ",\"shards\":" << result.shards << "}\n";
+      << ",\"shards\":" << shards << "}\n";
+}
+
+void WriteCheckpointRecord(std::ostream& out, const CampaignCheckpoint& checkpoint) {
+  out << "{\"event\":\"checkpoint\",\"every\":" << checkpoint.every
+      << ",\"shard\":" << checkpoint.shard
+      << ",\"cases_completed\":" << checkpoint.cases_completed
+      << ",\"sql_errors\":" << checkpoint.sql_errors
+      << ",\"crashes_observed\":" << checkpoint.crashes_observed
+      << ",\"false_positives\":" << checkpoint.false_positives
+      << ",\"watchdog_timeouts\":" << checkpoint.watchdog_timeouts
+      << ",\"unique_bugs\":" << checkpoint.unique_bugs
+      << ",\"rng_fingerprint\":" << checkpoint.rng_fingerprint
+      << ",\"dedup_digest\":" << checkpoint.dedup_digest << "}\n";
+}
+
+void WriteResumeMarker(std::ostream& out, int from_cases) {
+  out << "{\"event\":\"campaign_resume\",\"from_cases\":" << from_cases << "}\n";
+}
+
+void WriteCampaignTail(std::ostream& out, const CampaignResult& result,
+                       uint64_t wall_ns) {
   for (size_t i = 0; i < result.shard_statements.size(); ++i) {
     out << "{\"event\":\"shard_merge\",\"shard\":" << i
         << ",\"statements\":" << result.shard_statements[i] << "}\n";
@@ -228,10 +251,17 @@ void WriteCampaignJournal(std::ostream& out, const CampaignOptions& options,
       << ",\"sql_errors\":" << result.sql_errors
       << ",\"crashes_observed\":" << result.crashes_observed
       << ",\"false_positives\":" << result.false_positives
+      << ",\"watchdog_timeouts\":" << result.watchdog_timeouts
       << ",\"unique_bugs\":" << result.unique_bugs.size()
       << ",\"functions_triggered\":" << result.functions_triggered
       << ",\"branches_covered\":" << result.branches_covered
       << ",\"wall_ms\":" << FormatMs(wall_ns) << "}\n";
+}
+
+void WriteCampaignJournal(std::ostream& out, const CampaignOptions& options,
+                          const CampaignResult& result, uint64_t wall_ns) {
+  WriteCampaignStart(out, options, result.tool, result.dialect, result.shards);
+  WriteCampaignTail(out, result, wall_ns);
 }
 
 std::set<int> JournalReplay::BugIds() const {
@@ -291,6 +321,38 @@ Result<JournalReplay> ReplayJournal(std::istream& in) {
       witness.statement_index = static_cast<int>(statement_index);
       witness.shard = static_cast<int>(shard);
       replay.witnesses.push_back(std::move(witness));
+    } else if (event == "checkpoint") {
+      CampaignCheckpoint cp;
+      int64_t every = 0, shard = 0, cases = 0, sql_errors = 0, crashes = 0, fps = 0,
+              timeouts = 0, bugs = 0;
+      if (!ExtractInt(line, "every", every) || !ExtractInt(line, "shard", shard) ||
+          !ExtractInt(line, "cases_completed", cases) ||
+          !ExtractInt(line, "sql_errors", sql_errors) ||
+          !ExtractInt(line, "crashes_observed", crashes) ||
+          !ExtractInt(line, "false_positives", fps) ||
+          !ExtractInt(line, "watchdog_timeouts", timeouts) ||
+          !ExtractInt(line, "unique_bugs", bugs) ||
+          !ExtractUint(line, "rng_fingerprint", cp.rng_fingerprint) ||
+          !ExtractUint(line, "dedup_digest", cp.dedup_digest)) {
+        return InvalidArgument("journal line " + std::to_string(line_no) +
+                               ": malformed checkpoint");
+      }
+      cp.every = static_cast<int>(every);
+      cp.shard = static_cast<int>(shard);
+      cp.cases_completed = static_cast<int>(cases);
+      cp.sql_errors = static_cast<int>(sql_errors);
+      cp.crashes_observed = static_cast<int>(crashes);
+      cp.false_positives = static_cast<int>(fps);
+      cp.watchdog_timeouts = static_cast<int>(timeouts);
+      cp.unique_bugs = static_cast<int>(bugs);
+      replay.checkpoints.push_back(cp);
+    } else if (event == "campaign_resume") {
+      int64_t from_cases = 0;
+      if (!ExtractInt(line, "from_cases", from_cases)) {
+        return InvalidArgument("journal line " + std::to_string(line_no) +
+                               ": malformed campaign_resume");
+      }
+      ++replay.resume_markers;
     } else if (event == "campaign_finish") {
       int64_t statements = 0;
       if (!ExtractInt(line, "statements", statements) ||
@@ -299,6 +361,11 @@ Result<JournalReplay> ReplayJournal(std::istream& in) {
           !ExtractDouble(line, "wall_ms", replay.wall_ms)) {
         return InvalidArgument("journal line " + std::to_string(line_no) +
                                ": malformed campaign_finish");
+      }
+      // Optional in journals written before the statement watchdog existed.
+      int64_t timeouts = 0;
+      if (ExtractInt(line, "watchdog_timeouts", timeouts)) {
+        replay.watchdog_timeouts = static_cast<int>(timeouts);
       }
       replay.statements_executed = static_cast<int>(statements);
       replay.finished = true;

@@ -8,6 +8,11 @@
 // parallel runner's bit-identical-merge guarantee. Event types:
 //
 //   campaign_start   tool, dialect, seed, budget, shards
+//   checkpoint       streamed periodic progress record (docs/ROBUSTNESS.md):
+//                    cases completed, counters, RNG fingerprint, dedup
+//                    digest — what --resume replays from
+//   campaign_resume  marker a resumed run writes before continuing: the
+//                    cases_completed it resumed from
 //   shard_merge      one per shard of a sharded run: shard, statements
 //   first_witness    one per unique bug, discovery order: bug_id, pattern,
 //                    statement index, shard, wall_ms (0 when telemetry was
@@ -34,9 +39,20 @@ namespace soft {
 namespace telemetry {
 
 // Appends the campaign's NDJSON event stream to `out`. `wall_ns` is the
-// campaign's measured wall time (0 when unknown).
+// campaign's measured wall time (0 when unknown). Equivalent to
+// WriteCampaignStart + WriteCampaignTail (the post-hoc, checkpoint-free form).
 void WriteCampaignJournal(std::ostream& out, const CampaignOptions& options,
                           const CampaignResult& result, uint64_t wall_ns);
+
+// Streaming writers for live (checkpointing/resumable) campaigns. The header
+// takes tool/dialect/shards explicitly because the CampaignResult does not
+// exist yet when a streamed journal opens.
+void WriteCampaignStart(std::ostream& out, const CampaignOptions& options,
+                        const std::string& tool, const std::string& dialect, int shards);
+void WriteCheckpointRecord(std::ostream& out, const CampaignCheckpoint& checkpoint);
+void WriteResumeMarker(std::ostream& out, int from_cases);
+// The derived tail: shard_merge, first_witness, campaign_finish.
+void WriteCampaignTail(std::ostream& out, const CampaignResult& result, uint64_t wall_ns);
 
 // One first_witness event read back from a journal.
 struct JournalWitness {
@@ -56,7 +72,10 @@ struct JournalReplay {
   int shards = 0;
   std::vector<int> shard_statements;       // from shard_merge events
   std::vector<JournalWitness> witnesses;   // journal order == discovery order
+  std::vector<CampaignCheckpoint> checkpoints;  // journal order
+  int resume_markers = 0;                  // campaign_resume events seen
   int statements_executed = 0;
+  int watchdog_timeouts = 0;               // absent in pre-watchdog journals
   uint64_t functions_triggered = 0;
   uint64_t branches_covered = 0;
   double wall_ms = 0.0;

@@ -106,6 +106,12 @@ void CountFalsePositive(const std::string& pattern) {
   }
 }
 
+void CountTimeout(const std::string& pattern) {
+  if (t_sink != nullptr) {
+    ++t_sink->patterns[pattern].timeouts;
+  }
+}
+
 void RecordNamedLatency(std::string_view name, uint64_t ns) {
   if (!RuntimeEnabled()) {
     return;

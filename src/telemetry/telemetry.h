@@ -119,6 +119,7 @@ struct PatternCounters {
   uint64_t bugs_deduped = 0;     // first witnesses (unique bugs)
   uint64_t sql_errors = 0;
   uint64_t false_positives = 0;  // resource-limit kills
+  uint64_t timeouts = 0;         // statement-watchdog deadline kills (kTimeout)
 
   void MergeFrom(const PatternCounters& other) {
     generated += other.generated;
@@ -127,6 +128,7 @@ struct PatternCounters {
     bugs_deduped += other.bugs_deduped;
     sql_errors += other.sql_errors;
     false_positives += other.false_positives;
+    timeouts += other.timeouts;
   }
 
   bool operator==(const PatternCounters&) const = default;
@@ -232,6 +234,7 @@ void CountCrash(const std::string& pattern);
 void CountBugDeduped(const std::string& pattern);
 void CountSqlError(const std::string& pattern);
 void CountFalsePositive(const std::string& pattern);
+void CountTimeout(const std::string& pattern);
 
 // Process-global named histograms for one-off timings that outlive any
 // campaign (e.g. the study-corpus build, bench harness phases). Guarded by
@@ -260,6 +263,7 @@ inline void CountCrash(const std::string&) {}
 inline void CountBugDeduped(const std::string&) {}
 inline void CountSqlError(const std::string&) {}
 inline void CountFalsePositive(const std::string&) {}
+inline void CountTimeout(const std::string&) {}
 inline void RecordNamedLatency(std::string_view, uint64_t) {}
 inline std::map<std::string, LatencyHistogram> NamedLatencySnapshot() { return {}; }
 

@@ -79,6 +79,20 @@ std::string Rng::NextString(size_t length) {
   return out;
 }
 
+uint64_t Rng::StateFingerprint() const {
+  // FNV-1a over the four state words; mixing order matters, collisions don't
+  // (the fingerprint only has to distinguish "same point in the stream" from
+  // "diverged").
+  uint64_t h = 0xCBF29CE484222325ull;
+  for (const uint64_t st : state_) {
+    for (int shift = 0; shift < 64; shift += 8) {
+      h ^= (st >> shift) & 0xFFu;
+      h *= 0x100000001B3ull;
+    }
+  }
+  return h;
+}
+
 uint64_t SeedForShard(uint64_t base_seed, int shard) {
   if (shard == 0) {
     return base_seed;

@@ -44,6 +44,12 @@ class Rng {
   // Random identifier-looking token (letters + digits, starts with a letter).
   std::string NextIdentifier(size_t length);
 
+  // Non-destructive digest of the generator state (the journal's "RNG
+  // cursor"): two identical campaigns have identical fingerprints at the
+  // same statement index, so checkpoint/resume can verify a replay really
+  // retraced the interrupted run. Does not advance the stream.
+  uint64_t StateFingerprint() const;
+
  private:
   uint64_t state_[4];
 };

@@ -18,6 +18,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "UNSUPPORTED";
     case StatusCode::kResourceExhausted:
       return "RESOURCE_EXHAUSTED";
+    case StatusCode::kTimeout:
+      return "TIMEOUT";
     case StatusCode::kInternal:
       return "INTERNAL";
     case StatusCode::kCrash:

@@ -27,6 +27,7 @@ enum class StatusCode {
   kNotFound,          // unknown function, table, or column.
   kUnsupported,       // feature not available in this dialect.
   kResourceExhausted, // engine-enforced memory/length limit (false-positive source).
+  kTimeout,           // statement watchdog: wall-clock deadline exceeded.
   kInternal,          // harness bug, not a DBMS behaviour.
   kCrash,             // simulated memory-safety crash (carries crash metadata).
 };
@@ -73,6 +74,9 @@ inline Status Unsupported(std::string msg) {
 }
 inline Status ResourceExhausted(std::string msg) {
   return Status(StatusCode::kResourceExhausted, std::move(msg));
+}
+inline Status Timeout(std::string msg) {
+  return Status(StatusCode::kTimeout, std::move(msg));
 }
 inline Status Internal(std::string msg) {
   return Status(StatusCode::kInternal, std::move(msg));

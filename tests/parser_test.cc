@@ -188,5 +188,81 @@ INSTANTIATE_TEST_SUITE_P(
         "CREATE TABLE t (a INT NOT NULL, b STRING)",
         "SELECT JSON_LENGTH(REPEAT('[1,', 100), '$[2][1]')"));
 
+// Recursion-depth limits: pathological nesting must produce a clean
+// resource error, never exhaust the real stack. The budget is shared
+// between expression nesting and SELECT nesting (parenthesized selects,
+// subqueries, and UNION chains all recurse through ParseSelect).
+TEST(ParserDepth, DeepParenthesizedExpressionErrorsCleanly) {
+  const std::string deep =
+      "SELECT " + std::string(5000, '(') + "1" + std::string(5000, ')');
+  const Result<Statement> r = ParseStatement(deep);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted)
+      << r.status().ToString();
+}
+
+TEST(ParserDepth, ModerateParenthesizedExpressionStillParses) {
+  const std::string ok =
+      "SELECT " + std::string(300, '(') + "1" + std::string(300, ')');
+  EXPECT_TRUE(ParseStatement(ok).ok());
+}
+
+TEST(ParserDepth, DeepParenthesizedSelectErrorsCleanly) {
+  // ((((SELECT 1)))) — recursion through ParseSelect's paren branch, which
+  // the expression depth parameter never saw.
+  std::string deep;
+  for (int i = 0; i < 2000; ++i) {
+    deep += "(";
+  }
+  deep += "SELECT 1";
+  for (int i = 0; i < 2000; ++i) {
+    deep += ")";
+  }
+  const Result<Statement> r = ParseStatement(deep);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted)
+      << r.status().ToString();
+}
+
+TEST(ParserDepth, DeepScalarSubqueryErrorsCleanly) {
+  // SELECT (SELECT (SELECT ... )) — each level resets the expression depth
+  // at a clause boundary; only the shared SELECT budget bounds it.
+  std::string deep = "SELECT ";
+  for (int i = 0; i < 2000; ++i) {
+    deep += "(SELECT ";
+  }
+  deep += "1";
+  for (int i = 0; i < 2000; ++i) {
+    deep += ")";
+  }
+  const Result<Statement> r = ParseStatement(deep);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted)
+      << r.status().ToString();
+}
+
+TEST(ParserDepth, ModerateSubqueryNestingStillParses) {
+  std::string ok = "SELECT ";
+  for (int i = 0; i < 50; ++i) {
+    ok += "(SELECT ";
+  }
+  ok += "1";
+  for (int i = 0; i < 50; ++i) {
+    ok += ")";
+  }
+  EXPECT_TRUE(ParseStatement(ok).ok());
+}
+
+TEST(ParserDepth, LongUnionChainErrorsCleanly) {
+  std::string deep = "SELECT 1";
+  for (int i = 0; i < 2000; ++i) {
+    deep += " UNION ALL SELECT 1";
+  }
+  const Result<Statement> r = ParseStatement(deep);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted)
+      << r.status().ToString();
+}
+
 }  // namespace
 }  // namespace soft

@@ -7,6 +7,7 @@
 
 #include "src/baselines/comparison.h"
 #include "src/dialects/dialects.h"
+#include "src/soft/worker.h"
 #include "src/soft/boundary_values.h"
 #include "src/soft/expr_collection.h"
 #include "src/soft/patterns.h"
@@ -19,7 +20,15 @@ namespace {
 // A dialect stripped of its fault corpus: same catalog/strictness, no bugs.
 std::unique_ptr<Database> VanillaTwin(const std::string& dialect) {
   auto db = MakeDialect(dialect);
-  EngineConfig config = db->config();
+  // Copy every engine knob explicitly: the twin must differ from the dialect
+  // in exactly one way — no fault corpus. A knob that drifts here (cast
+  // strictness, engine limits, watchdog budgets) silently weakens every
+  // robustness property below.
+  EngineConfig config;
+  config.name = db->config().name;
+  config.cast_options = db->config().cast_options;
+  config.limits = db->config().limits;
+  config.statement_limits = db->config().statement_limits;
   auto twin = std::make_unique<Database>(config);
   // Copy the dialect's exact catalog (including dialect-specific extras).
   FunctionRegistry& target = twin->registry();
@@ -69,6 +78,29 @@ INSTANTIATE_TEST_SUITE_P(
     testing::Combine(testing::Values("postgresql", "mariadb", "duckdb", "virtuoso"),
                      testing::Values(0, 1, 2, 3)),
     RobustnessName);
+
+TEST(FuzzerRobustness, VanillaTwinSurvivesRealCrashMode) {
+  // With no fault corpus there is nothing to realize: under
+  // CrashRealism::kReal the worker harness must complete the campaign in a
+  // single forked worker with zero signals — and match the in-process
+  // simulated run exactly.
+  CampaignOptions options;
+  options.seed = 17;
+  options.max_statements = 1500;
+  options.crash_realism = CrashRealism::kReal;
+
+  const WorkerShardOutcome outcome = RunShardInWorkerProcess(
+      [] { return std::make_unique<SoftFuzzer>(); },
+      [] { return VanillaTwin("mariadb"); }, options);
+
+  EXPECT_EQ(outcome.stats.forks, 1);
+  EXPECT_EQ(outcome.stats.real_crashes, 0);
+  EXPECT_EQ(outcome.stats.unexpected_deaths, 0);
+  EXPECT_FALSE(outcome.stats.degraded_to_simulated);
+  EXPECT_EQ(outcome.result.crashes_observed, 0);
+  EXPECT_TRUE(outcome.result.unique_bugs.empty());
+  EXPECT_EQ(outcome.result.statements_executed, 1500);
+}
 
 class PatternSqlValidityTest : public testing::TestWithParam<std::string> {};
 
