@@ -17,8 +17,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -93,7 +93,7 @@ int RunScaling(const std::string& dialect, int budget, ShardMode mode) {
       "(speedup tracks available cores; per-shard corpus collection and\n"
       " pattern generation are the fixed serial cost, see EXPERIMENTS.md)\n");
 
-  std::ofstream json("BENCH_parallel.json");
+  std::ostringstream json;
   json << "{\n  \"bench\": \"parallel_scaling\",\n  \"dialect\": \"" << dialect
        << "\",\n  \"budget\": " << budget << ",\n  \"mode\": \"" << mode_name
        << "\",\n  \"seed\": 1,\n  \"reference_bugs\": " << reference_ids.size()
@@ -107,7 +107,9 @@ int RunScaling(const std::string& dialect, int budget, ShardMode mode) {
          << "}" << (i + 1 < points.size() ? "," : "") << "\n";
   }
   json << "  ]\n}\n";
-  std::printf("wrote BENCH_parallel.json\n");
+  if (!WriteBenchJson("BENCH_parallel.json", json.str())) {
+    return 1;
+  }
 
   if (!all_identical) {
     std::fprintf(stderr, "FAIL: a sharded run diverged from the serial bug set\n");

@@ -12,8 +12,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -89,7 +89,7 @@ int RunBench(int budget, uint64_t seed) {
   std::printf("telemetry hooks: compiled out (SOFT_TELEMETRY=OFF)\n");
 #endif
 
-  std::ofstream json("BENCH_telemetry.json");
+  std::ostringstream json;
   json << "{\n  \"bench\": \"telemetry\",\n  \"budget\": " << budget
        << ",\n  \"seed\": " << seed << ",\n  \"dialects\": {\n";
   for (size_t i = 0; i < results.size(); ++i) {
@@ -97,7 +97,9 @@ int RunBench(int budget, uint64_t seed) {
          << (i + 1 < results.size() ? "," : "") << "\n";
   }
   json << "  }\n}\n";
-  std::printf("wrote BENCH_telemetry.json\n");
+  if (!WriteBenchJson("BENCH_telemetry.json", json.str())) {
+    return 1;
+  }
 
   if (!identical) {
     std::fprintf(stderr, "FAIL: disabling telemetry changed a campaign result\n");

@@ -9,6 +9,9 @@
 #include <string>
 #include <vector>
 
+#include "src/util/io.h"
+#include "src/util/status.h"
+
 namespace soft {
 
 inline void PrintHeader(const std::string& title) {
@@ -30,6 +33,20 @@ inline std::string Pct(double part, double whole) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.1f%%", whole == 0 ? 0.0 : 100.0 * part / whole);
   return buf;
+}
+
+// Publishes a bench's BENCH_*.json artifact atomically (tmp+fsync+rename) and
+// loudly: EXPERIMENTS.md plots are regenerated from these files, so a silent
+// ENOSPC/EPERM truncation must fail the bench run, not poison the plots.
+// Returns false (after printing to stderr) on failure.
+inline bool WriteBenchJson(const std::string& path, const std::string& contents) {
+  if (const Status written = io::WriteFileAtomic(path, contents); !written.ok()) {
+    std::fprintf(stderr, "cannot write %s: %s\n", path.c_str(),
+                 written.message().c_str());
+    return false;
+  }
+  std::printf("wrote %s\n", path.c_str());
+  return true;
 }
 
 }  // namespace soft

@@ -20,6 +20,15 @@
 //                             workers
 //   --resume=<journal>        resume an interrupted campaign from its journal
 //                             (dialect/budget/seed come from the journal)
+//   --chaos=<spec>            arm failpoints before the campaign, e.g.
+//                             --chaos='io.write=error,eval.enter=after:500'
+//                             (docs/ROBUSTNESS.md lists modes and sites)
+//   --chaos=list              print the failpoint site inventory and exit
+//   --chaos=enumerate         run the chaos smoke oracle once per failpoint
+//                             (non-zero exit when any site's oracle fails)
+//
+// Exit codes: 0 success, 1 bad usage / hard failure, 2 chaos oracle failed,
+// 3 campaign finished but its telemetry journal degraded mid-run.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -29,6 +38,8 @@
 #include <vector>
 
 #include "src/dialects/dialects.h"
+#include "src/failpoint/failpoint.h"
+#include "src/soft/chaos.h"
 #include "src/soft/resume.h"
 #include "src/soft/soft_fuzzer.h"
 #include "src/telemetry/journal.h"
@@ -40,8 +51,41 @@ void PrintUsage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [dialect] [budget] [--telemetry=<path>]\n"
                "          [--checkpoint-every=<n>] [--timeout-ms=<n>]\n"
-               "          [--crash-mode=sim|real] [--resume=<journal>]\n",
+               "          [--crash-mode=sim|real] [--resume=<journal>]\n"
+               "          [--chaos=<spec>|list|enumerate]\n",
                argv0);
+}
+
+int PrintFailpointInventory() {
+  std::printf("%-28s %-8s %s\n", "failpoint", "class", "site");
+  for (const soft::failpoint::SiteInfo& site : soft::failpoint::kInventory) {
+    std::printf("%-28s %-8s %s\n", site.name.data(),
+                soft::failpoint::SiteClassName(site.site_class).data(),
+                site.where.data());
+  }
+  std::printf("\nmodes: off | error | prob:<p> | after:<n>[:<fires>] | oom[:<n>]\n");
+  std::printf("failpoints compiled %s\n",
+              soft::failpoint::kCompiledIn ? "in" : "out (-DSOFT_FAILPOINTS=OFF)");
+  return 0;
+}
+
+int RunChaosEnumerate(const std::string& dialect, int budget) {
+  std::printf("=== chaos enumeration: %s, budget %d per smoke campaign ===\n\n",
+              dialect.c_str(), budget);
+  const soft::ChaosReport report =
+      soft::RunChaosEnumeration(dialect, budget, /*include_worker_sites=*/true);
+  if (!report.compiled_in) {
+    std::printf("failpoints compiled out; nothing to inject\n");
+    return 0;
+  }
+  for (const soft::ChaosSiteOutcome& outcome : report.outcomes) {
+    std::printf("[%s] %-28s %-8s %s\n", outcome.ok ? "ok" : "FAIL",
+                outcome.failpoint.c_str(), outcome.site_class.c_str(),
+                outcome.detail.c_str());
+  }
+  std::printf("\n%zu sites, %s\n", report.outcomes.size(),
+              report.ok() ? "all oracles held" : "ORACLE FAILURES above");
+  return report.ok() ? 0 : 2;
 }
 
 bool ParseIntFlag(const char* arg, const char* name, int* out) {
@@ -58,6 +102,7 @@ bool ParseIntFlag(const char* arg, const char* name, int* out) {
 int main(int argc, char** argv) {
   std::string telemetry_path;
   std::string resume_path;
+  std::string chaos_spec;
   std::string crash_mode = "sim";
   int timeout_ms = 0;
   int checkpoint_every = -1;  // -1: default (1000 with a journal, else 0)
@@ -67,6 +112,8 @@ int main(int argc, char** argv) {
       telemetry_path = argv[i] + 12;
     } else if (std::strncmp(argv[i], "--resume=", 9) == 0) {
       resume_path = argv[i] + 9;
+    } else if (std::strncmp(argv[i], "--chaos=", 8) == 0) {
+      chaos_spec = argv[i] + 8;
     } else if (std::strncmp(argv[i], "--crash-mode=", 13) == 0) {
       crash_mode = argv[i] + 13;
     } else if (ParseIntFlag(argv[i], "--timeout-ms=", &timeout_ms) ||
@@ -97,6 +144,24 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  if (chaos_spec == "list") {
+    return PrintFailpointInventory();
+  }
+  if (chaos_spec == "enumerate") {
+    const std::string dialect = !positional.empty() ? positional[0] : "virtuoso";
+    const int budget = positional.size() > 1 ? std::atoi(positional[1]) : 0;
+    return RunChaosEnumerate(dialect, budget > 0 ? budget : 600);
+  }
+  if (!chaos_spec.empty()) {
+    const soft::Status armed = soft::failpoint::ArmFromSpec(chaos_spec);
+    if (!armed.ok()) {
+      std::fprintf(stderr, "--chaos spec rejected: %s\n",
+                   armed.message().c_str());
+      return 1;
+    }
+    std::printf("chaos: armed '%s'\n", chaos_spec.c_str());
+  }
+
   soft::CampaignOptions options;
   options.stop_when_all_bugs_found = true;
   options.crash_realism = crash_mode == "real" ? soft::CrashRealism::kReal
@@ -119,6 +184,16 @@ int main(int argc, char** argv) {
     options.checkpoint_sink = [&journal](const soft::CampaignCheckpoint& cp) {
       soft::telemetry::WriteCheckpointRecord(journal, cp);
       journal.flush();
+      // False tells the campaign the journal stream is gone: it continues
+      // without checkpoints and latches journal_degraded (reported below).
+      // Clearing the stream's error state lets the final campaign_finish
+      // record still be attempted, so a lost checkpoint degrades the journal
+      // instead of poisoning every write after it.
+      if (!journal.good()) {
+        journal.clear();
+        return false;
+      }
+      return true;
     };
   }
 
@@ -156,6 +231,9 @@ int main(int argc, char** argv) {
     }
     if (journal.is_open()) {
       soft::telemetry::WriteCampaignStart(journal, options, "SOFT", dialect, 1);
+      if (!chaos_spec.empty()) {
+        soft::telemetry::WriteChaosMarker(journal, chaos_spec);
+      }
       soft::telemetry::WriteResumeMarker(
           journal, spec->has_checkpoint ? spec->last_checkpoint.cases_completed : 0);
       journal.flush();
@@ -201,6 +279,9 @@ int main(int argc, char** argv) {
 
     if (journal.is_open()) {
       soft::telemetry::WriteCampaignStart(journal, options, "SOFT", dialect, 1);
+      if (!chaos_spec.empty()) {
+        soft::telemetry::WriteChaosMarker(journal, chaos_spec);
+      }
       journal.flush();
     }
     const soft::telemetry::WallTimer timer;
@@ -251,6 +332,13 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("wrote NDJSON journal to %s\n", telemetry_path.c_str());
+  }
+  if (result.journal_degraded) {
+    std::fprintf(stderr,
+                 "warning: checkpoint journal '%s' degraded mid-campaign; the "
+                 "bug report above is complete but the journal is not resumable\n",
+                 telemetry_path.empty() ? "(sink)" : telemetry_path.c_str());
+    return 3;
   }
   return 0;
 }

@@ -12,12 +12,13 @@
 // corpus or the generator intentionally changes, and review the diff.
 #include <algorithm>
 #include <cstdio>
-#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "src/dialects/dialects.h"
 #include "src/soft/soft_fuzzer.h"
+#include "src/util/io.h"
 
 int main(int argc, char** argv) {
   const std::string out_dir = argc > 1 ? argv[1] : "tests/golden";
@@ -43,12 +44,10 @@ int main(int argc, char** argv) {
                 return a.crash.bug_id < b.crash.bug_id;
               });
 
-    const std::string path = out_dir + "/pocs_" + dialect + ".txt";
-    std::ofstream out(path);
-    if (!out) {
-      std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
-      return 1;
-    }
+    // Build the corpus in memory and publish it atomically: a failed or
+    // interrupted regeneration must never leave a truncated golden file for
+    // golden_poc_test.cc to silently pass against.
+    std::ostringstream out;
     out << "# Golden PoC corpus for " << dialect
         << " — regenerate with examples/gen_golden_pocs.\n"
         << "# Reference SOFT campaign: seed 1, budget 250000. One line per "
@@ -65,6 +64,14 @@ int main(int argc, char** argv) {
       out << bug.crash.bug_id << '\t' << soft::CrashTypeName(bug.crash.crash) << '\t'
           << bug.poc_sql << '\n';
       ++total;
+    }
+
+    const std::string path = out_dir + "/pocs_" + dialect + ".txt";
+    if (const soft::Status written = soft::io::WriteFileAtomic(path, out.str());
+        !written.ok()) {
+      std::fprintf(stderr, "cannot write %s: %s\n", path.c_str(),
+                   written.message().c_str());
+      return 1;
     }
     std::printf("%-12s %3zu PoCs -> %s\n", dialect.c_str(), result.unique_bugs.size(),
                 path.c_str());

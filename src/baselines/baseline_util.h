@@ -5,6 +5,7 @@
 #include <set>
 #include <string>
 
+#include "src/failpoint/failpoint.h"
 #include "src/soft/campaign.h"
 #include "src/telemetry/telemetry.h"
 #include "src/util/rng.h"
@@ -63,16 +64,25 @@ inline void ApplyCampaignLimits(Database& db, const CampaignOptions& options) {
 }
 
 // Emits a checkpoint when the cadence divides the statement count. The
-// baselines draw from a live RNG, so the fingerprint is taken from it.
+// baselines draw from a live RNG, so the fingerprint is taken from it. A
+// failed sink (or the campaign.checkpoint_sink failpoint) latches
+// result.journal_degraded and the campaign continues without checkpoints —
+// same graceful degradation as the SOFT loop.
 inline void MaybeCheckpointBaseline(const CampaignOptions& options,
-                                    const CampaignResult& result, const Rng& rng,
+                                    CampaignResult& result, const Rng& rng,
                                     uint64_t dedup_digest) {
   if (options.checkpoint_every <= 0 || !options.checkpoint_sink ||
+      result.journal_degraded ||
       result.statements_executed % options.checkpoint_every != 0) {
     return;
   }
-  options.checkpoint_sink(
-      MakeCheckpoint(options, result, rng.StateFingerprint(), dedup_digest));
+  const bool sink_ok =
+      !SOFT_FAILPOINT_HIT("campaign.checkpoint_sink") &&
+      options.checkpoint_sink(
+          MakeCheckpoint(options, result, rng.StateFingerprint(), dedup_digest));
+  if (!sink_ok) {
+    result.journal_degraded = true;
+  }
 }
 
 // Benign literal generators shared by the baselines: small integers, short

@@ -6,7 +6,10 @@
 
 #include <csignal>
 
+#include <new>
+
 #include "src/engine/exec_internal.h"
+#include "src/failpoint/failpoint.h"
 #include "src/telemetry/telemetry.h"
 #include "src/util/str_util.h"
 
@@ -94,6 +97,7 @@ const Table* Database::FindTable(const std::string& name) const {
 }
 
 Status Database::CreateTable(const CreateTableStmt& stmt) {
+  SOFT_FAILPOINT("catalog.create");
   const std::string key = AsciiLower(stmt.table);
   if (tables_.count(key) != 0) {
     return InvalidArgument("table '" + stmt.table + "' already exists");
@@ -109,6 +113,7 @@ Status Database::CreateTable(const CreateTableStmt& stmt) {
 }
 
 Status Database::DropTable(const DropTableStmt& stmt) {
+  SOFT_FAILPOINT("catalog.drop");
   const std::string key = AsciiLower(stmt.table);
   if (tables_.erase(key) == 0 && !stmt.if_exists) {
     return NotFound("unknown table '" + stmt.table + "'");
@@ -117,6 +122,7 @@ Status Database::DropTable(const DropTableStmt& stmt) {
 }
 
 Status Database::Insert(const InsertStmt& stmt, std::optional<CrashInfo>* crash) {
+  SOFT_FAILPOINT("catalog.insert");
   const std::string key = AsciiLower(stmt.table);
   const auto it = tables_.find(key);
   if (it == tables_.end()) {
@@ -184,6 +190,30 @@ Status Database::Insert(const InsertStmt& stmt, std::optional<CrashInfo>* crash)
 }
 
 StatementResult Database::Execute(std::string_view sql) {
+  // Allocation failure anywhere in the pipeline must look like any other
+  // engine resource limit — a clean kResourceExhausted statement status —
+  // rather than an exception unwinding through the campaign loop. The oom
+  // failpoint mode exercises exactly this boundary.
+  try {
+    return ExecuteImpl(sql);
+  } catch (const std::bad_alloc&) {
+    StatementResult result;
+    result.status = ResourceExhausted("allocation failure while executing statement");
+    return result;
+  }
+}
+
+StatementResult Database::ExecuteStatement(const Statement& stmt) {
+  try {
+    return ExecuteStatementImpl(stmt);
+  } catch (const std::bad_alloc&) {
+    StatementResult result;
+    result.status = ResourceExhausted("allocation failure while executing statement");
+    return result;
+  }
+}
+
+StatementResult Database::ExecuteImpl(std::string_view sql) {
   StatementResult result;
   const AlarmBackstop backstop(crash_policy_.alarm_backstop,
                                config_.statement_limits.deadline_ms);
@@ -214,11 +244,11 @@ StatementResult Database::Execute(std::string_view sql) {
     stmt = std::move(parsed).value();
   }
 
-  StatementResult exec = ExecuteStatement(stmt);
+  StatementResult exec = ExecuteStatementImpl(stmt);
   return exec;
 }
 
-StatementResult Database::ExecuteStatement(const Statement& stmt_in) {
+StatementResult Database::ExecuteStatementImpl(const Statement& stmt_in) {
   StatementResult result;
   ExecContext ec;
   ec.db = this;

@@ -97,7 +97,10 @@ class Database {
   // simulated kCrash StatementResult.
   void OnCrashTriggered(const CrashInfo& info);
 
-  // Executes one statement of SQL text through all three stages.
+  // Executes one statement of SQL text through all three stages. Allocation
+  // failure anywhere in the pipeline (std::bad_alloc — e.g. the oom failpoint
+  // mode, docs/ROBUSTNESS.md) surfaces as kResourceExhausted, never as an
+  // escaping exception.
   StatementResult Execute(std::string_view sql);
 
   // Executes a ';'-separated script, stopping at the first crash (a crashed
@@ -121,6 +124,11 @@ class Database {
   // Seeds an ExecContext's watchdog state from statement_limits (the deadline
   // is anchored at call time). Defined in database.cc, which sees ExecContext.
   void InitWatchdog(ExecContext& ec) const;
+
+  // Pipeline bodies; the public Execute/ExecuteStatement wrappers add the
+  // std::bad_alloc → kResourceExhausted boundary around them.
+  StatementResult ExecuteImpl(std::string_view sql);
+  StatementResult ExecuteStatementImpl(const Statement& stmt);
 
   EngineConfig config_;
   CrashRealismPolicy crash_policy_;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "src/engine/exec_internal.h"
+#include "src/failpoint/failpoint.h"
 #include "src/util/str_util.h"
 
 namespace soft {
@@ -155,6 +156,7 @@ Result<Value> Evaluator::Eval(const Expr& e, const RowBinding& row) {
   if (Status wd = ec_.CheckWatchdog(); !wd.ok()) {
     return wd;
   }
+  SOFT_FAILPOINT("eval.enter");
   if (++ec_.eval_depth > kMaxEvalDepth) {
     --ec_.eval_depth;
     return ResourceExhausted("expression evaluation too deep");
@@ -205,6 +207,7 @@ Result<Value> Evaluator::Eval(const Expr& e, const RowBinding& row) {
 }
 
 Result<Value> Evaluator::EvalFunctionCall(const Expr& e, const RowBinding& row) {
+  SOFT_FAILPOINT("eval.function");
   // Aggregates resolved by the SELECT executor arrive pre-computed.
   if (agg_values_ != nullptr) {
     const auto it = agg_values_->find(&e);
@@ -406,6 +409,7 @@ Result<Value> Evaluator::EvalUnaryOp(const Expr& e, const RowBinding& row) {
 }
 
 Result<Value> Evaluator::EvalSubquery(const Expr& e, const RowBinding& row) {
+  SOFT_FAILPOINT("eval.subquery");
   SOFT_ASSIGN_OR_RETURN(QueryOutput out, RunSelect(ec_, *e.subquery));
   if (out.rows.empty() || out.rows[0].empty()) {
     return Value::Null();

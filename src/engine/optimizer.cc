@@ -8,6 +8,7 @@
 // fault-checked cast, so optimize-stage cast bugs can fire), and every
 // function-call node is structurally checked against optimize-stage specs.
 #include "src/engine/exec_internal.h"
+#include "src/failpoint/failpoint.h"
 
 namespace soft {
 namespace {
@@ -40,6 +41,7 @@ Status OptimizeSelect(ExecContext& ec, SelectStmt& sel) {
 }
 
 Status OptimizeExpr(ExecContext& ec, Expr& e) {
+  SOFT_FAILPOINT("optimize.expr");
   for (ExprPtr& a : e.args) {
     SOFT_RETURN_IF_ERROR(OptimizeExpr(ec, *a));
   }
@@ -84,6 +86,7 @@ Status OptimizeExpr(ExecContext& ec, Expr& e) {
 }  // namespace
 
 Status OptimizeStatement(ExecContext& ec, Statement& stmt) {
+  SOFT_FAILPOINT("optimize.enter");
   if (SelectStmt* sel = stmt.mutable_select()) {
     return OptimizeSelect(ec, *sel);
   }

@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "src/engine/exec_internal.h"
+#include "src/failpoint/failpoint.h"
 
 namespace soft {
 namespace {
@@ -452,6 +453,7 @@ Status UnifyUnion(ExecContext& ec, QueryOutput& left, QueryOutput&& right, bool 
 }  // namespace
 
 Result<QueryOutput> RunSelect(ExecContext& ec, const SelectStmt& select) {
+  SOFT_FAILPOINT("exec.select");
   SOFT_ASSIGN_OR_RETURN(FromData from, ResolveFrom(ec, select));
 
   QueryOutput out;

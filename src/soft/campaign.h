@@ -78,9 +78,13 @@ struct CampaignOptions {
   // Checkpointing: with checkpoint_every > 0 and a sink installed, the
   // execution loop invokes the sink every checkpoint_every executed
   // statements. Campaign runs ignore the sink's cost — it must not perturb
-  // determinism (write-only).
+  // determinism (write-only). The sink returns false when it can no longer
+  // persist checkpoints (journal stream went bad, pipe broke): the campaign
+  // then *continues without the sink* and latches
+  // CampaignResult::journal_degraded rather than crashing or silently
+  // pretending the journal is intact (docs/ROBUSTNESS.md).
   int checkpoint_every = 0;
-  std::function<void(const CampaignCheckpoint&)> checkpoint_sink;
+  std::function<bool(const CampaignCheckpoint&)> checkpoint_sink;
 };
 
 struct FoundBug {
@@ -120,6 +124,13 @@ struct CampaignResult {
   // report the shard count and each shard's statements_executed.
   int shards = 1;
   std::vector<int> shard_statements;
+
+  // True when the telemetry/checkpoint sink failed mid-campaign and the run
+  // continued without it (graceful degradation — the campaign outcome is
+  // still complete and deterministic, but the streamed journal is not).
+  // Sharded merges OR the per-shard flags. Exported as `journal_degraded`
+  // on the journal's campaign_finish event.
+  bool journal_degraded = false;
 
   // Observability snapshot (src/telemetry): stage-latency histograms and
   // per-pattern counters recorded during this campaign. Serial campaigns

@@ -1,0 +1,474 @@
+#include "src/soft/chaos.h"
+
+#include <unistd.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/failpoint/failpoint.h"
+#include "src/soft/soft_fuzzer.h"
+#include "src/telemetry/journal.h"
+#include "src/util/io.h"
+
+namespace soft {
+namespace {
+
+constexpr int kDefaultBudget = 600;
+
+// FNV-1a over a byte string.
+uint64_t FnvFold(uint64_t digest, const std::string& bytes) {
+  for (const unsigned char c : bytes) {
+    digest ^= c;
+    digest *= 0x100000001B3ull;
+  }
+  return digest;
+}
+
+uint64_t FnvFoldInt(uint64_t digest, int64_t v) {
+  return FnvFold(digest, std::to_string(v));
+}
+
+// The last statement of a site's driver script is the one expected to take
+// the injected fault; everything before it is setup that must succeed.
+std::vector<std::string> EngineDriverScript(const std::string& site) {
+  if (site == "parse.enter" || site == "optimize.enter" || site == "exec.select") {
+    return {"SELECT 1"};
+  }
+  if (site == "parse.expr" || site == "optimize.expr" || site == "eval.enter") {
+    return {"SELECT 1 + 1"};
+  }
+  if (site == "eval.function") {
+    return {"SELECT ABS(-1)"};
+  }
+  if (site == "eval.subquery") {
+    return {"SELECT (SELECT 1)"};
+  }
+  if (site == "catalog.create") {
+    return {"CREATE TABLE chaos_t (a INT)"};
+  }
+  if (site == "catalog.drop") {
+    return {"CREATE TABLE chaos_t (a INT)", "DROP TABLE chaos_t"};
+  }
+  if (site == "catalog.insert") {
+    return {"CREATE TABLE chaos_t (a INT)", "INSERT INTO chaos_t VALUES (1)"};
+  }
+  return {};
+}
+
+// Runs `script` against a fresh builtin-catalog database; the final
+// statement's result lands in `last`. Setup statements must succeed.
+bool RunDriverScript(const std::vector<std::string>& script, StatementResult& last,
+                     std::string& error) {
+  Database db;
+  for (size_t i = 0; i < script.size(); ++i) {
+    last = db.Execute(script[i]);
+    if (i + 1 < script.size() && !last.ok()) {
+      error = "setup statement '" + script[i] + "' failed: " + last.status.ToString();
+      return false;
+    }
+  }
+  return true;
+}
+
+CampaignOptions SmokeOptions(int budget) {
+  CampaignOptions options;
+  options.seed = 20260807;
+  options.max_statements = budget;
+  return options;
+}
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// --- per-class oracles ------------------------------------------------------
+
+ChaosSiteOutcome CheckEngineSite(const failpoint::SiteInfo& site,
+                                 const std::string& dialect, int budget) {
+  ChaosSiteOutcome outcome;
+  outcome.failpoint = std::string(site.name);
+  outcome.site_class = std::string(failpoint::SiteClassName(site.site_class));
+  outcome.spec = std::string(site.name) + "=error";
+  outcome.ran = true;
+
+  const std::vector<std::string> script = EngineDriverScript(outcome.failpoint);
+  if (script.empty()) {
+    outcome.detail = "no driver script registered for this engine site";
+    return outcome;
+  }
+
+  // (1) error mode: the driver statement surfaces a clean kResourceExhausted.
+  failpoint::DisarmAll();
+  if (Status armed = failpoint::ArmFromSpec(outcome.spec); !armed.ok()) {
+    outcome.detail = "arm failed: " + armed.ToString();
+    return outcome;
+  }
+  StatementResult last;
+  std::string setup_error;
+  if (!RunDriverScript(script, last, setup_error)) {
+    failpoint::DisarmAll();
+    outcome.detail = setup_error;
+    return outcome;
+  }
+  const failpoint::SiteStats stats = failpoint::Stats(site.name);
+  failpoint::DisarmAll();
+  if (stats.fires == 0) {
+    outcome.detail = "driver statement never evaluated the site (inventory drift?)";
+    return outcome;
+  }
+  if (last.ok() || last.status.code() != StatusCode::kResourceExhausted ||
+      last.crashed()) {
+    outcome.detail = "expected clean kResourceExhausted, got " + last.status.ToString();
+    return outcome;
+  }
+
+  // (2) oom mode: the thrown bad_alloc is caught at the Execute boundary.
+  if (Status armed = failpoint::ArmFromSpec(std::string(site.name) + "=oom");
+      !armed.ok()) {
+    outcome.detail = "oom arm failed: " + armed.ToString();
+    return outcome;
+  }
+  StatementResult oom_last;
+  const bool oom_setup_ok = RunDriverScript(script, oom_last, setup_error);
+  failpoint::DisarmAll();
+  if (!oom_setup_ok) {
+    outcome.detail = "oom: " + setup_error;
+    return outcome;
+  }
+  if (oom_last.status.code() != StatusCode::kResourceExhausted ||
+      oom_last.status.message().find("allocation failure") == std::string::npos) {
+    outcome.detail = "oom: expected caught bad_alloc → kResourceExhausted, got " +
+                     oom_last.status.ToString();
+    return outcome;
+  }
+
+  // (3) a campaign with the site armed completes its budget and is
+  // run-to-run deterministic under the identical armed spec.
+  const CampaignResult baseline =
+      RunShardedSoftCampaign(dialect, SmokeOptions(budget), /*shards=*/1);
+  const std::string campaign_spec = std::string(site.name) + "=after:50";
+  uint64_t digests[2] = {0, 0};
+  int statements[2] = {0, 0};
+  for (int run = 0; run < 2; ++run) {
+    failpoint::DisarmAll();  // resets counters so both runs fire identically
+    if (Status armed = failpoint::ArmFromSpec(campaign_spec); !armed.ok()) {
+      outcome.detail = "campaign arm failed: " + armed.ToString();
+      return outcome;
+    }
+    const CampaignResult injected =
+        RunShardedSoftCampaign(dialect, SmokeOptions(budget), /*shards=*/1);
+    failpoint::DisarmAll();
+    digests[run] = DigestCampaignResult(injected);
+    statements[run] = injected.statements_executed;
+  }
+  if (statements[0] != baseline.statements_executed) {
+    outcome.detail = "injected campaign stopped early: " +
+                     std::to_string(statements[0]) + " vs baseline " +
+                     std::to_string(baseline.statements_executed) + " statements";
+    return outcome;
+  }
+  if (digests[0] != digests[1]) {
+    outcome.detail = "injected campaign not run-to-run deterministic";
+    return outcome;
+  }
+  outcome.ok = true;
+  outcome.detail = "error+oom surfaced cleanly after " +
+                   std::to_string(stats.fires) + " fire(s); armed campaign ran " +
+                   std::to_string(statements[0]) + " statements, deterministic";
+  return outcome;
+}
+
+ChaosSiteOutcome CheckIoRetrySite(const failpoint::SiteInfo& site,
+                                  const std::string& dialect, int budget,
+                                  bool include_worker_sites) {
+  ChaosSiteOutcome outcome;
+  outcome.failpoint = std::string(site.name);
+  outcome.site_class = std::string(failpoint::SiteClassName(site.site_class));
+
+  const bool worker_site = outcome.failpoint.rfind("worker.", 0) == 0;
+  if (worker_site && !include_worker_sites) {
+    outcome.spec = "(skipped)";
+    outcome.ok = true;
+    outcome.detail = "worker sites disabled (no forking in this lane)";
+    return outcome;
+  }
+  outcome.ran = true;
+
+  if (!worker_site) {
+    // io.eintr / io.short_write: a payload written through RetryingWriter
+    // over a pipe arrives bit-identical despite the injected transient
+    // faults.
+    outcome.spec = outcome.failpoint + "=after:0:5";
+    int fds[2];
+    if (::pipe(fds) != 0) {
+      outcome.detail = "pipe() failed";
+      return outcome;
+    }
+    std::string payload;
+    for (int i = 0; i < 64; ++i) {
+      payload += "chaos-retry-record-" + std::to_string(i) + "\n";
+    }
+    failpoint::DisarmAll();
+    if (Status armed = failpoint::ArmFromSpec(outcome.spec); !armed.ok()) {
+      ::close(fds[0]);
+      ::close(fds[1]);
+      outcome.detail = "arm failed: " + armed.ToString();
+      return outcome;
+    }
+    io::RetryingWriter writer(fds[1]);
+    const Status write_status = writer.WriteAll(payload);
+    const failpoint::SiteStats stats = failpoint::Stats(site.name);
+    failpoint::DisarmAll();
+    ::close(fds[1]);
+    std::string received;
+    char chunk[4096];
+    for (;;) {
+      const int64_t n = io::ReadRetrying(fds[0], chunk, sizeof(chunk));
+      if (n <= 0) {
+        break;
+      }
+      received.append(chunk, static_cast<size_t>(n));
+    }
+    ::close(fds[0]);
+    if (!write_status.ok()) {
+      outcome.detail = "retrying write failed: " + write_status.ToString();
+      return outcome;
+    }
+    if (stats.fires == 0) {
+      outcome.detail = "site never fired (inventory drift?)";
+      return outcome;
+    }
+    if (received != payload) {
+      outcome.detail = "payload corrupted across injected transient faults";
+      return outcome;
+    }
+    outcome.ok = true;
+    outcome.detail = "payload bit-identical across " + std::to_string(stats.fires) +
+                     " injected fault(s)";
+    return outcome;
+  }
+
+  // worker.fork / worker.pipe_write / worker.pipe_read: a real-crash
+  // campaign with the transient fault armed merges bit-identical to the
+  // uninjected simulated reference (PR3's sim/real identity, preserved
+  // under injection because the fault is retried or absorbed by the
+  // supervisor's restart/backoff ladder).
+  outcome.spec = outcome.failpoint + "=after:0:2";
+  CampaignOptions sim_options = SmokeOptions(budget);
+  const CampaignResult reference = RunShardedSoftCampaign(dialect, sim_options, 1);
+
+  failpoint::DisarmAll();
+  if (Status armed = failpoint::ArmFromSpec(outcome.spec); !armed.ok()) {
+    outcome.detail = "arm failed: " + armed.ToString();
+    return outcome;
+  }
+  CampaignOptions real_options = SmokeOptions(budget);
+  real_options.crash_realism = CrashRealism::kReal;
+  const CampaignResult injected = RunShardedSoftCampaign(dialect, real_options, 1);
+  failpoint::DisarmAll();
+
+  if (DigestCampaignResult(injected) != DigestCampaignResult(reference)) {
+    outcome.detail = "real-crash campaign diverged from simulated reference "
+                     "under injected fault";
+    return outcome;
+  }
+  outcome.ok = true;
+  outcome.detail = "real-crash campaign bit-identical to simulated reference (" +
+                   std::to_string(injected.unique_bugs.size()) + " bugs)";
+  return outcome;
+}
+
+ChaosSiteOutcome CheckIoErrorSite(const failpoint::SiteInfo& site) {
+  ChaosSiteOutcome outcome;
+  outcome.failpoint = std::string(site.name);
+  outcome.site_class = std::string(failpoint::SiteClassName(site.site_class));
+  outcome.spec = outcome.failpoint + "=error";
+  outcome.ran = true;
+
+  const std::string path =
+      "chaos_artifact_" + std::to_string(static_cast<long>(::getpid())) + ".txt";
+  const std::string tmp_path =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  struct Cleanup {
+    const std::string& p;
+    const std::string& t;
+    ~Cleanup() {
+      ::unlink(p.c_str());
+      ::unlink(t.c_str());
+    }
+  } cleanup{path, tmp_path};
+
+  failpoint::DisarmAll();
+  if (Status baseline = io::WriteFileAtomic(path, "baseline contents\n");
+      !baseline.ok()) {
+    outcome.detail = "uninjected baseline write failed: " + baseline.ToString();
+    return outcome;
+  }
+
+  if (Status armed = failpoint::ArmFromSpec(outcome.spec); !armed.ok()) {
+    outcome.detail = "arm failed: " + armed.ToString();
+    return outcome;
+  }
+  const Status injected = io::WriteFileAtomic(path, "updated contents\n");
+  const failpoint::SiteStats stats = failpoint::Stats(site.name);
+  failpoint::DisarmAll();
+
+  if (injected.ok() || injected.code() != StatusCode::kIoError) {
+    outcome.detail = "expected kIoError, got " + injected.ToString();
+    return outcome;
+  }
+  if (stats.fires == 0) {
+    outcome.detail = "site never fired (inventory drift?)";
+    return outcome;
+  }
+  if (injected.message().find(path) == std::string::npos) {
+    outcome.detail = "error does not name the artifact path: " + injected.ToString();
+    return outcome;
+  }
+  if (ReadFileOrEmpty(path) != "baseline contents\n") {
+    outcome.detail = "destination no longer holds its previous contents "
+                     "(atomicity violated)";
+    return outcome;
+  }
+  if (::access(tmp_path.c_str(), F_OK) == 0) {
+    outcome.detail = "tmp file left behind after failed write";
+    return outcome;
+  }
+
+  // Disarmed retry produces the artifact the failed attempt was writing.
+  if (Status retry = io::WriteFileAtomic(path, "updated contents\n"); !retry.ok()) {
+    outcome.detail = "disarmed retry failed: " + retry.ToString();
+    return outcome;
+  }
+  if (ReadFileOrEmpty(path) != "updated contents\n") {
+    outcome.detail = "disarmed retry produced wrong contents";
+    return outcome;
+  }
+  outcome.ok = true;
+  outcome.detail = "clean kIoError naming the path; destination atomic; retry "
+                   "after disarm identical";
+  return outcome;
+}
+
+ChaosSiteOutcome CheckDegradeSite(const failpoint::SiteInfo& site,
+                                  const std::string& dialect, int budget) {
+  ChaosSiteOutcome outcome;
+  outcome.failpoint = std::string(site.name);
+  outcome.site_class = std::string(failpoint::SiteClassName(site.site_class));
+  outcome.spec = outcome.failpoint + "=error";
+  outcome.ran = true;
+
+  // Reference: sink intact (writing real checkpoint records, as find_bugs
+  // does), campaign not degraded.
+  CampaignOptions reference_options = SmokeOptions(budget);
+  reference_options.checkpoint_every = 50;
+  std::ostringstream reference_journal;
+  reference_options.checkpoint_sink = [&](const CampaignCheckpoint& cp) {
+    telemetry::WriteCheckpointRecord(reference_journal, cp);
+    return reference_journal.good();
+  };
+  failpoint::DisarmAll();
+  const CampaignResult reference = RunShardedSoftCampaign(dialect, reference_options, 1);
+  if (reference.journal_degraded) {
+    outcome.detail = "uninjected reference campaign unexpectedly degraded";
+    return outcome;
+  }
+
+  // Injected: the sink (or the record writer under it) fails mid-campaign.
+  if (Status armed = failpoint::ArmFromSpec(outcome.spec); !armed.ok()) {
+    outcome.detail = "arm failed: " + armed.ToString();
+    return outcome;
+  }
+  CampaignOptions injected_options = SmokeOptions(budget);
+  injected_options.checkpoint_every = 50;
+  std::ostringstream injected_journal;
+  int sink_calls = 0;
+  injected_options.checkpoint_sink = [&](const CampaignCheckpoint& cp) {
+    ++sink_calls;
+    telemetry::WriteCheckpointRecord(injected_journal, cp);
+    return injected_journal.good();
+  };
+  const CampaignResult injected = RunShardedSoftCampaign(dialect, injected_options, 1);
+  failpoint::DisarmAll();
+
+  if (!injected.journal_degraded) {
+    outcome.detail = "campaign did not record journal_degraded";
+    return outcome;
+  }
+  if (DigestCampaignResult(injected) != DigestCampaignResult(reference)) {
+    outcome.detail = "degraded campaign outcome diverged from reference";
+    return outcome;
+  }
+  outcome.ok = true;
+  outcome.detail = "campaign continued degraded (" + std::to_string(sink_calls) +
+                   " sink call(s) before loss), outcome bit-identical to reference";
+  return outcome;
+}
+
+}  // namespace
+
+uint64_t DigestCampaignResult(const CampaignResult& result) {
+  // Deterministic fields only: wall-clock quantities (found_wall_ns, stage
+  // latencies) and journal_degraded (which is exactly what degrade-class
+  // injections change) are excluded, mirroring the bit-identical-merge
+  // tests' comparison set.
+  uint64_t d = 0xCBF29CE484222325ull;
+  d = FnvFold(d, result.tool);
+  d = FnvFold(d, result.dialect);
+  d = FnvFoldInt(d, result.statements_executed);
+  d = FnvFoldInt(d, result.sql_errors);
+  d = FnvFoldInt(d, result.crashes_observed);
+  d = FnvFoldInt(d, result.false_positives);
+  d = FnvFoldInt(d, result.watchdog_timeouts);
+  d = FnvFoldInt(d, static_cast<int64_t>(result.functions_triggered));
+  d = FnvFoldInt(d, static_cast<int64_t>(result.branches_covered));
+  d = FnvFoldInt(d, result.shards);
+  for (const int n : result.shard_statements) {
+    d = FnvFoldInt(d, n);
+  }
+  for (const FoundBug& bug : result.unique_bugs) {
+    d = FnvFoldInt(d, bug.crash.bug_id);
+    d = FnvFold(d, bug.found_by);
+    d = FnvFold(d, bug.poc_sql);
+    d = FnvFoldInt(d, bug.statements_until_found);
+    d = FnvFoldInt(d, bug.shard);
+  }
+  return d;
+}
+
+ChaosReport RunChaosEnumeration(const std::string& dialect, int budget,
+                                bool include_worker_sites) {
+  ChaosReport report;
+  report.compiled_in = failpoint::kCompiledIn;
+  report.dialect = dialect;
+  report.budget = budget > 0 ? budget : kDefaultBudget;
+  if (!report.compiled_in) {
+    return report;  // nothing to inject; vacuously ok
+  }
+  for (const failpoint::SiteInfo& site : failpoint::kInventory) {
+    switch (site.site_class) {
+      case failpoint::SiteClass::kEngine:
+        report.outcomes.push_back(CheckEngineSite(site, dialect, report.budget));
+        break;
+      case failpoint::SiteClass::kIoRetry:
+        report.outcomes.push_back(
+            CheckIoRetrySite(site, dialect, report.budget, include_worker_sites));
+        break;
+      case failpoint::SiteClass::kIoError:
+        report.outcomes.push_back(CheckIoErrorSite(site));
+        break;
+      case failpoint::SiteClass::kDegrade:
+        report.outcomes.push_back(CheckDegradeSite(site, dialect, report.budget));
+        break;
+    }
+  }
+  failpoint::DisarmAll();
+  return report;
+}
+
+}  // namespace soft

@@ -89,6 +89,7 @@ CampaignResult ParallelCampaignRunner::Merge(std::vector<ShardOutcome> outcomes)
     merged.crashes_observed += r.crashes_observed;
     merged.false_positives += r.false_positives;
     merged.watchdog_timeouts += r.watchdog_timeouts;
+    merged.journal_degraded |= r.journal_degraded;
     merged.shard_statements.push_back(r.statements_executed);
     // Telemetry merges by per-bucket / per-counter sum, walking shards in
     // index order; the merged snapshot is a pure function of the shard

@@ -64,9 +64,7 @@ Result<CampaignResult> ResumeSoftCampaign(const ResumeSpec& spec,
         mismatch = true;
       }
     }
-    if (original_sink) {
-      original_sink(cp);
-    }
+    return original_sink ? original_sink(cp) : true;
   };
 
   CampaignResult result =

@@ -4,6 +4,7 @@
 #include <map>
 #include <set>
 
+#include "src/failpoint/failpoint.h"
 #include "src/soft/expr_collection.h"
 #include "src/soft/parallel_runner.h"
 #include "src/soft/seeds.h"
@@ -156,9 +157,18 @@ CampaignResult SoftFuzzer::Run(Database& db, const CampaignOptions& options) {
       telemetry::CountSqlError(test_case.pattern);
     }
     if (options.checkpoint_every > 0 && options.checkpoint_sink &&
+        !result.journal_degraded &&
         result.statements_executed % options.checkpoint_every == 0) {
-      options.checkpoint_sink(
-          MakeCheckpoint(options, result, rng.StateFingerprint(), dedup_digest));
+      // campaign.checkpoint_sink: chaos campaigns kill the sink here to
+      // prove the run continues (degraded, not dead) with an identical
+      // campaign outcome.
+      const bool sink_ok =
+          !SOFT_FAILPOINT_HIT("campaign.checkpoint_sink") &&
+          options.checkpoint_sink(
+              MakeCheckpoint(options, result, rng.StateFingerprint(), dedup_digest));
+      if (!sink_ok) {
+        result.journal_degraded = true;
+      }
     }
     if (stop) {
       break;

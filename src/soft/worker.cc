@@ -27,6 +27,9 @@
 #include <thread>
 #include <vector>
 
+#include "src/failpoint/failpoint.h"
+#include "src/util/io.h"
+
 namespace soft {
 namespace {
 
@@ -63,19 +66,22 @@ std::string HexDecode(const std::string& s) {
   return out;
 }
 
-// Writes the whole line (append '\n') to fd, looping over partial writes.
-// Only write(2) — safe to call right before raising a fatal signal.
-void WriteLine(int fd, const std::string& line) {
-  std::string buf = line;
-  buf.push_back('\n');
-  size_t off = 0;
-  while (off < buf.size()) {
-    const ssize_t n = ::write(fd, buf.data() + off, buf.size() - off);
-    if (n <= 0) {
-      return;  // supervisor gone; nothing useful left to do
+// Writes the whole line (append '\n') to fd through the shared retrying
+// writer (bounded backoff over EINTR/short writes — src/util/io.h). Only
+// write(2) + usleep(2) — safe to call right before raising a fatal signal.
+// Returns false when the writer gave up (supervisor gone / pipe dead);
+// callers that stream checkpoints use that to latch journal degradation.
+// The worker.pipe_write failpoint forces the first byte through alone so
+// chaos campaigns exercise the record-reassembly path on every record.
+bool WriteLine(int fd, const std::string& line) {
+  io::RetryingWriter writer(fd);
+  if (SOFT_FAILPOINT_HIT("worker.pipe_write") && !line.empty()) {
+    if (!writer.WriteAll(line.substr(0, 1)).ok()) {
+      return false;
     }
-    off += static_cast<size_t>(n);
+    return writer.WriteLine(line.substr(1)).ok();
   }
+  return writer.WriteLine(line).ok();
 }
 
 // --- record serialization --------------------------------------------------
@@ -128,7 +134,8 @@ void WriteResultBlock(int fd, const CampaignResult& result,
         << result.statements_executed << ' ' << result.sql_errors << ' '
         << result.crashes_observed << ' ' << result.false_positives << ' '
         << result.watchdog_timeouts << ' ' << result.functions_triggered << ' '
-        << result.branches_covered << ' ' << result.shards;
+        << result.branches_covered << ' ' << result.shards << ' '
+        << (result.journal_degraded ? 1 : 0);
     WriteLine(fd, out.str());
   }
   for (const int n : result.shard_statements) {
@@ -199,9 +206,11 @@ void WriteResultBlock(int fd, const CampaignResult& result,
   db->set_crash_realism(std::move(policy));
 
   // Checkpoints stream over the pipe; the supervisor forwards them to the
-  // shard's original sink with restart duplicates filtered.
+  // shard's original sink with restart duplicates filtered. A dead pipe
+  // degrades the journal (the child keeps running), it does not kill the
+  // campaign.
   options.checkpoint_sink = [fd](const CampaignCheckpoint& cp) {
-    WriteLine(fd, "K " + EncodeCheckpoint(cp));
+    return WriteLine(fd, "K " + EncodeCheckpoint(cp));
   };
 
   const CampaignResult result = fuzzer->Run(*db, options);
@@ -220,7 +229,7 @@ struct ChildStream {
 };
 
 void ParseChildLine(const std::string& line, ChildStream& stream,
-                    const std::function<void(const CampaignCheckpoint&)>& on_checkpoint) {
+                    const std::function<bool(const CampaignCheckpoint&)>& on_checkpoint) {
   if (line.empty()) {
     return;
   }
@@ -240,11 +249,13 @@ void ParseChildLine(const std::string& line, ChildStream& stream,
     }
   } else if (tag == "RES") {
     std::string tool, dialect;
+    int journal_degraded = 0;
     in >> tool >> dialect >> stream.result.statements_executed >>
         stream.result.sql_errors >> stream.result.crashes_observed >>
         stream.result.false_positives >> stream.result.watchdog_timeouts >>
         stream.result.functions_triggered >> stream.result.branches_covered >>
-        stream.result.shards;
+        stream.result.shards >> journal_degraded;
+    stream.result.journal_degraded = journal_degraded != 0;
     stream.result.tool = HexDecode(tool);
     stream.result.dialect = HexDecode(dialect);
   } else if (tag == "SST") {
@@ -292,14 +303,16 @@ void ParseChildLine(const std::string& line, ChildStream& stream,
 }
 
 ChildStream ReadChildStream(
-    int fd, const std::function<void(const CampaignCheckpoint&)>& on_checkpoint) {
+    int fd, const std::function<bool(const CampaignCheckpoint&)>& on_checkpoint) {
   ChildStream stream;
   std::string buffer;
   char chunk[4096];
   for (;;) {
-    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    // EINTR-retrying read: a SIGCHLD-interrupted read must not be mistaken
+    // for end-of-stream and drop the tail of a live child's result block.
+    const int64_t n = io::ReadRetrying(fd, chunk, sizeof(chunk));
     if (n <= 0) {
-      break;  // EOF (child exited) or error — either way the stream is over
+      break;  // EOF (child exited) or real error — either way the stream is over
     }
     buffer.append(chunk, static_cast<size_t>(n));
     size_t start = 0;
@@ -325,16 +338,24 @@ WorkerShardOutcome RunShardInWorkerProcess(const WorkerFuzzerFactory& make_fuzze
   WorkerShardOutcome outcome;
 
   // Restart duplicates: a replaying child re-emits checkpoints it already
-  // streamed in a previous life; forward only strictly-new progress.
+  // streamed in a previous life; forward only strictly-new progress. A
+  // failing downstream sink latches degradation for the shard — duplicates
+  // and already-degraded forwards still count as "handled" (true) so the
+  // child keeps its own journal_degraded flag accurate.
   const auto original_sink = options.checkpoint_sink;
   int max_forwarded_cases = 0;
-  const auto forward_checkpoint = [&](const CampaignCheckpoint& cp) {
-    if (!original_sink || cp.cases_completed <= max_forwarded_cases) {
-      return;
-    }
-    max_forwarded_cases = cp.cases_completed;
-    original_sink(cp);
-  };
+  bool sink_degraded = false;
+  const std::function<bool(const CampaignCheckpoint&)> forward_checkpoint =
+      [&](const CampaignCheckpoint& cp) {
+        if (!original_sink || sink_degraded || cp.cases_completed <= max_forwarded_cases) {
+          return true;
+        }
+        max_forwarded_cases = cp.cases_completed;
+        if (!original_sink(cp)) {
+          sink_degraded = true;
+        }
+        return true;
+      };
 
   int confirmed_crashes = 0;
   int consecutive_unannounced = 0;
@@ -355,6 +376,7 @@ WorkerShardOutcome RunShardInWorkerProcess(const WorkerFuzzerFactory& make_fuzze
       degraded.crash_realism = CrashRealism::kSimulated;
       degraded.checkpoint_sink = forward_checkpoint;
       outcome.result = fuzzer->Run(*db, degraded);
+      outcome.result.journal_degraded |= sink_degraded;
       outcome.coverage = db->coverage();
       return outcome;
     }
@@ -366,7 +388,9 @@ WorkerShardOutcome RunShardInWorkerProcess(const WorkerFuzzerFactory& make_fuzze
     }
     ++outcome.stats.forks;
     const bool die_silently = outcome.stats.forks <= worker_options.test_silent_deaths;
-    const pid_t pid = ::fork();
+    // worker.fork simulates transient fork failure (EAGAIN class); it takes
+    // the same backoff/degradation ladder a real fork failure would.
+    const pid_t pid = SOFT_FAILPOINT_HIT("worker.fork") ? -1 : ::fork();
     if (pid < 0) {
       ::close(fds[0]);
       ::close(fds[1]);
@@ -389,6 +413,7 @@ WorkerShardOutcome RunShardInWorkerProcess(const WorkerFuzzerFactory& make_fuzze
 
     if (stream.complete) {
       outcome.result = std::move(stream.result);
+      outcome.result.journal_degraded |= sink_degraded;
       outcome.coverage = std::move(stream.coverage);
       return outcome;
     }

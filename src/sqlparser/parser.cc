@@ -2,6 +2,7 @@
 
 #include <charconv>
 
+#include "src/failpoint/failpoint.h"
 #include "src/sqlparser/lexer.h"
 #include "src/util/str_util.h"
 
@@ -112,6 +113,7 @@ class Parser {
   }
 
   Result<Statement> ParseStatementInternal() {
+    SOFT_FAILPOINT("parse.enter");
     if (Peek().IsKeyword("SELECT") || Peek().IsOp("(")) {
       SOFT_ASSIGN_OR_RETURN(std::unique_ptr<SelectStmt> sel, ParseSelect());
       Statement stmt;
@@ -410,6 +412,7 @@ class Parser {
   // multiplicative(* / %), unary(- +), postfix '::', primary.
 
   Result<ExprPtr> ParseExpr(int depth) {
+    SOFT_FAILPOINT("parse.expr");
     if (depth_used_ + depth > kMaxParseDepth) {
       return ResourceExhausted("expression nesting too deep for parser");
     }

@@ -14,7 +14,9 @@
 #include <sstream>
 #include <string>
 
+#include "src/failpoint/failpoint.h"
 #include "src/telemetry/telemetry.h"
+#include "src/util/io.h"
 
 namespace soft {
 namespace telemetry {
@@ -218,6 +220,13 @@ void WriteCampaignStart(std::ostream& out, const CampaignOptions& options,
 }
 
 void WriteCheckpointRecord(std::ostream& out, const CampaignCheckpoint& checkpoint) {
+  // journal.checkpoint_write: the stream goes bad exactly as a full disk
+  // would make it — sinks that check stream state (find_bugs) then latch
+  // journal degradation and the campaign continues without checkpoints.
+  if (SOFT_FAILPOINT_HIT("journal.checkpoint_write")) {
+    out.setstate(std::ios_base::badbit);
+    return;
+  }
   out << "{\"event\":\"checkpoint\",\"every\":" << checkpoint.every
       << ",\"shard\":" << checkpoint.shard
       << ",\"cases_completed\":" << checkpoint.cases_completed
@@ -232,6 +241,10 @@ void WriteCheckpointRecord(std::ostream& out, const CampaignCheckpoint& checkpoi
 
 void WriteResumeMarker(std::ostream& out, int from_cases) {
   out << "{\"event\":\"campaign_resume\",\"from_cases\":" << from_cases << "}\n";
+}
+
+void WriteChaosMarker(std::ostream& out, const std::string& spec) {
+  out << "{\"event\":\"chaos\",\"spec\":\"" << EscapeJson(spec) << "\"}\n";
 }
 
 void WriteCampaignTail(std::ostream& out, const CampaignResult& result,
@@ -255,6 +268,7 @@ void WriteCampaignTail(std::ostream& out, const CampaignResult& result,
       << ",\"unique_bugs\":" << result.unique_bugs.size()
       << ",\"functions_triggered\":" << result.functions_triggered
       << ",\"branches_covered\":" << result.branches_covered
+      << ",\"journal_degraded\":" << (result.journal_degraded ? 1 : 0)
       << ",\"wall_ms\":" << FormatMs(wall_ns) << "}\n";
 }
 
@@ -279,6 +293,18 @@ Result<JournalReplay> ReplayJournal(std::istream& in) {
   int line_no = 0;
   while (std::getline(in, line)) {
     ++line_no;
+    // Torn-tail rule: every writer emits the terminating '\n' as the last
+    // byte of a record, so a final line that hits EOF without one is a
+    // record the producer died inside (the kill -9 case). It is dropped —
+    // the journal replays up to the last intact record — and flagged so
+    // --resume knows the file was truncated. A '\n'-terminated line that
+    // fails to parse is still a hard error: that is corruption, not tearing.
+    if (in.eof()) {
+      if (!line.empty()) {
+        replay.torn_tail = true;
+      }
+      break;
+    }
     if (line.empty()) {
       continue;
     }
@@ -353,6 +379,13 @@ Result<JournalReplay> ReplayJournal(std::istream& in) {
                                ": malformed campaign_resume");
       }
       ++replay.resume_markers;
+    } else if (event == "chaos") {
+      std::string spec;
+      if (!ExtractString(line, "spec", spec)) {
+        return InvalidArgument("journal line " + std::to_string(line_no) +
+                               ": malformed chaos marker");
+      }
+      replay.chaos_specs.push_back(std::move(spec));
     } else if (event == "campaign_finish") {
       int64_t statements = 0;
       if (!ExtractInt(line, "statements", statements) ||
@@ -366,6 +399,11 @@ Result<JournalReplay> ReplayJournal(std::istream& in) {
       int64_t timeouts = 0;
       if (ExtractInt(line, "watchdog_timeouts", timeouts)) {
         replay.watchdog_timeouts = static_cast<int>(timeouts);
+      }
+      // Optional in journals written before sink degradation was recorded.
+      int64_t degraded = 0;
+      if (ExtractInt(line, "journal_degraded", degraded)) {
+        replay.journal_degraded = degraded != 0;
       }
       replay.statements_executed = static_cast<int>(statements);
       replay.finished = true;
@@ -382,12 +420,16 @@ Result<JournalReplay> ReplayJournal(std::istream& in) {
 
 Status WriteCampaignJournalFile(const std::string& path, const CampaignOptions& options,
                                 const CampaignResult& result, uint64_t wall_ns) {
-  std::ofstream out(path);
-  if (!out) {
-    return InvalidArgument("cannot open journal file '" + path + "' for writing");
-  }
+  // Serialize in memory, then write tmp+fsync+rename: the journal path
+  // either keeps its previous contents or gets the complete new stream —
+  // never a silent prefix (the pre-existing bug: write errors after a
+  // successful open were never checked).
+  std::ostringstream out;
   WriteCampaignJournal(out, options, result, wall_ns);
-  return OkStatus();
+  if (!out) {
+    return IoError("serializing journal for '" + path + "' failed");
+  }
+  return io::WriteFileAtomic(path, out.str());
 }
 
 Result<JournalReplay> ReplayJournalFile(const std::string& path) {

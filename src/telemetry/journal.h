@@ -51,6 +51,9 @@ void WriteCampaignStart(std::ostream& out, const CampaignOptions& options,
                         const std::string& tool, const std::string& dialect, int shards);
 void WriteCheckpointRecord(std::ostream& out, const CampaignCheckpoint& checkpoint);
 void WriteResumeMarker(std::ostream& out, int from_cases);
+// Marker a chaos campaign writes after arming its failpoint spec, so the
+// journal records that its stream was produced under fault injection.
+void WriteChaosMarker(std::ostream& out, const std::string& spec);
 // The derived tail: shard_merge, first_witness, campaign_finish.
 void WriteCampaignTail(std::ostream& out, const CampaignResult& result, uint64_t wall_ns);
 
@@ -74,18 +77,30 @@ struct JournalReplay {
   std::vector<JournalWitness> witnesses;   // journal order == discovery order
   std::vector<CampaignCheckpoint> checkpoints;  // journal order
   int resume_markers = 0;                  // campaign_resume events seen
+  std::vector<std::string> chaos_specs;    // chaos markers (fault-injected runs)
   int statements_executed = 0;
   int watchdog_timeouts = 0;               // absent in pre-watchdog journals
   uint64_t functions_triggered = 0;
   uint64_t branches_covered = 0;
   double wall_ms = 0.0;
   bool finished = false;                   // campaign_finish event present
+  // The final line hit EOF without its terminating '\n': the producer died
+  // mid-record (kill -9). The torn record is dropped; everything before it
+  // replayed normally, so --resume continues from the last intact
+  // checkpoint.
+  bool torn_tail = false;
+  // campaign_finish reported that the producer lost its checkpoint sink
+  // mid-run (CampaignResult::journal_degraded).
+  bool journal_degraded = false;
 
   std::set<int> BugIds() const;
 };
 
 // Parses an NDJSON journal stream. Fails on unknown event types, missing
-// required fields, or a stream without a campaign_start line.
+// required fields, or a stream without a campaign_start line. Every record
+// is '\n'-terminated by construction, so a final line without one is a torn
+// tail: it is dropped and flagged (torn_tail), not an error — the kill -9
+// recovery path depends on replaying the intact prefix.
 Result<JournalReplay> ReplayJournal(std::istream& in);
 
 // Convenience: file-path variants used by the CLI flags.

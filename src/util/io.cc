@@ -1,0 +1,158 @@
+#include "src/util/io.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <string.h>
+#include <unistd.h>
+
+#include <string>
+
+#include "src/failpoint/failpoint.h"
+
+namespace soft {
+namespace io {
+
+namespace {
+
+void BackoffSleep(uint64_t delay_us) {
+  if (delay_us > 0) {
+    ::usleep(static_cast<useconds_t>(delay_us));
+  }
+}
+
+std::string ErrnoText(int err) {
+  return std::string(::strerror(err));
+}
+
+}  // namespace
+
+Status RetryingWriter::WriteAll(std::string_view data) {
+  size_t offset = 0;
+  int attempts = 0;
+  uint64_t delay_us = policy_.backoff_initial_us;
+  while (offset < data.size()) {
+    size_t chunk = data.size() - offset;
+    // io.short_write: deliver only the first byte of the chunk — the retry
+    // loop must finish the record invisibly (SiteClass kIoRetry).
+    if (chunk > 1 && SOFT_FAILPOINT_HIT("io.short_write")) {
+      chunk = 1;
+    }
+    ssize_t n;
+    if (SOFT_FAILPOINT_HIT("io.eintr")) {
+      n = -1;
+      errno = EINTR;
+    } else {
+      n = ::write(fd_, data.data() + offset, chunk);
+    }
+    if (n > 0) {
+      offset += static_cast<size_t>(n);
+      attempts = 0;  // progress resets the exhaustion bound
+      delay_us = policy_.backoff_initial_us;
+      continue;
+    }
+    int err = (n < 0) ? errno : 0;
+    if (n < 0 && err != EINTR && err != EAGAIN && err != EWOULDBLOCK) {
+      return IoError("write(fd=" + std::to_string(fd_) +
+                     ") failed: " + ErrnoText(err));
+    }
+    if (++attempts >= policy_.max_attempts) {
+      return IoError("write(fd=" + std::to_string(fd_) + ") made no progress after " +
+                     std::to_string(attempts) + " attempts (" +
+                     (n < 0 ? ErrnoText(err) : std::string("zero-length write")) +
+                     ")");
+    }
+    BackoffSleep(delay_us);
+    delay_us = delay_us * 2 < policy_.backoff_max_us ? delay_us * 2
+                                                     : policy_.backoff_max_us;
+  }
+  return OkStatus();
+}
+
+Status RetryingWriter::WriteLine(std::string_view line) {
+  std::string framed;
+  framed.reserve(line.size() + 1);
+  framed.append(line);
+  framed.push_back('\n');
+  return WriteAll(framed);
+}
+
+int64_t ReadRetrying(int fd, char* buf, uint64_t count) {
+  while (true) {
+    ssize_t n;
+    if (SOFT_FAILPOINT_HIT("worker.pipe_read")) {
+      n = -1;
+      errno = EINTR;
+    } else {
+      n = ::read(fd, buf, count);
+    }
+    if (n >= 0) {
+      return static_cast<int64_t>(n);
+    }
+    if (errno != EINTR) {
+      return -1;
+    }
+  }
+}
+
+Status WriteFileAtomic(const std::string& path, std::string_view contents) {
+  const std::string tmp_path =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  auto fail = [&](int fd, const std::string& stage, const std::string& detail) {
+    if (fd >= 0) {
+      ::close(fd);
+    }
+    ::unlink(tmp_path.c_str());
+    return IoError(stage + " failed for '" + path + "': " + detail);
+  };
+
+  int fd;
+  if (SOFT_FAILPOINT_HIT("io.open")) {
+    fd = -1;
+    errno = EMFILE;
+  } else {
+    fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  }
+  if (fd < 0) {
+    return fail(-1, "open", ErrnoText(errno) + " (tmp file '" + tmp_path + "')");
+  }
+
+  if (SOFT_FAILPOINT_HIT("io.write")) {
+    return fail(fd, "write", "injected fault at failpoint 'io.write'");
+  }
+  RetryingWriter writer(fd);
+  Status write_status = writer.WriteAll(contents);
+  if (!write_status.ok()) {
+    return fail(fd, "write", write_status.message());
+  }
+
+  bool fsync_failed;
+  if (SOFT_FAILPOINT_HIT("io.fsync")) {
+    fsync_failed = true;
+    errno = EIO;
+  } else {
+    fsync_failed = ::fsync(fd) != 0;
+  }
+  if (fsync_failed) {
+    return fail(fd, "fsync", ErrnoText(errno));
+  }
+  if (::close(fd) != 0) {
+    return fail(-1, "close", ErrnoText(errno));
+  }
+
+  // io.rename skips the real rename so the destination stays untouched —
+  // the atomicity contract under test is exactly "error ⇒ old contents".
+  bool rename_failed;
+  if (SOFT_FAILPOINT_HIT("io.rename")) {
+    rename_failed = true;
+    errno = EXDEV;
+  } else {
+    rename_failed = ::rename(tmp_path.c_str(), path.c_str()) != 0;
+  }
+  if (rename_failed) {
+    return fail(-1, "rename", ErrnoText(errno) + " (tmp file '" + tmp_path + "')");
+  }
+  return OkStatus();
+}
+
+}  // namespace io
+}  // namespace soft

@@ -22,6 +22,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "TIMEOUT";
     case StatusCode::kInternal:
       return "INTERNAL";
+    case StatusCode::kIoError:
+      return "IO_ERROR";
     case StatusCode::kCrash:
       return "CRASH";
   }

@@ -29,6 +29,7 @@ enum class StatusCode {
   kResourceExhausted, // engine-enforced memory/length limit (false-positive source).
   kTimeout,           // statement watchdog: wall-clock deadline exceeded.
   kInternal,          // harness bug, not a DBMS behaviour.
+  kIoError,           // harness artifact I/O failure (journal, PoC, bench JSON).
   kCrash,             // simulated memory-safety crash (carries crash metadata).
 };
 
@@ -80,6 +81,9 @@ inline Status Timeout(std::string msg) {
 }
 inline Status Internal(std::string msg) {
   return Status(StatusCode::kInternal, std::move(msg));
+}
+inline Status IoError(std::string msg) {
+  return Status(StatusCode::kIoError, std::move(msg));
 }
 inline Status CrashStatus(std::string msg) {
   return Status(StatusCode::kCrash, std::move(msg));

@@ -13,14 +13,19 @@
 // Run under ThreadSanitizer together with the parallel-runner tests:
 // `ctest -R 'Parallel|GoldenPoc|Telemetry'` in a -DSOFT_SANITIZE=thread tree.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
+#include <cstdio>
+#include <fstream>
 #include <memory>
 #include <set>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "src/dialects/dialects.h"
 #include "src/soft/parallel_runner.h"
+#include "src/soft/resume.h"
 #include "src/soft/soft_fuzzer.h"
 #include "src/telemetry/journal.h"
 #include "src/telemetry/telemetry.h"
@@ -297,6 +302,147 @@ TEST(TelemetryJournalTest, ReplayRejectsMalformedStreams) {
     std::stringstream missing_field(
         "{\"event\":\"campaign_start\",\"tool\":\"t\"}\n");
     EXPECT_FALSE(telemetry::ReplayJournal(missing_field).ok());
+  }
+}
+
+CampaignCheckpoint TestCheckpoint(int cases, int bugs) {
+  CampaignCheckpoint cp;
+  cp.every = 10;
+  cp.cases_completed = cases;
+  cp.sql_errors = cases / 3;
+  cp.unique_bugs = bugs;
+  cp.rng_fingerprint = 0xABCDull + static_cast<uint64_t>(cases);
+  cp.dedup_digest = 0x1234ull + static_cast<uint64_t>(bugs);
+  return cp;
+}
+
+TEST(TelemetryJournalTest, CampaignFinishCarriesJournalDegraded) {
+  const CampaignOptions options = TestOptions(5, 3000);
+  CampaignResult result = RunShardedSoftCampaign("mariadb", options, 1);
+  result.journal_degraded = true;
+
+  std::stringstream stream;
+  telemetry::WriteCampaignJournal(stream, options, result, 0);
+  EXPECT_NE(stream.str().find("\"journal_degraded\":1"), std::string::npos);
+  const Result<telemetry::JournalReplay> replayed = telemetry::ReplayJournal(stream);
+  ASSERT_TRUE(replayed.ok()) << replayed.status().message();
+  EXPECT_TRUE(replayed->journal_degraded);
+}
+
+TEST(TelemetryJournalTest, TornTailIsDroppedNotFatal) {
+  const CampaignOptions options = TestOptions(1, 100);
+  std::stringstream stream;
+  telemetry::WriteCampaignStart(stream, options, "SOFT", "mariadb", 1);
+  telemetry::WriteCheckpointRecord(stream, TestCheckpoint(10, 1));
+  telemetry::WriteCheckpointRecord(stream, TestCheckpoint(20, 2));
+  const std::string full = stream.str();
+  ASSERT_EQ(full.back(), '\n');
+
+  // Kill -9 mid-write of the second checkpoint: the record loses its tail.
+  std::stringstream torn(full.substr(0, full.size() - 7));
+  const Result<telemetry::JournalReplay> replayed = telemetry::ReplayJournal(torn);
+  ASSERT_TRUE(replayed.ok()) << replayed.status().message();
+  EXPECT_TRUE(replayed->torn_tail);
+  EXPECT_FALSE(replayed->finished);
+  ASSERT_EQ(replayed->checkpoints.size(), 1u);
+  EXPECT_EQ(replayed->checkpoints[0], TestCheckpoint(10, 1));
+
+  // A '\n'-terminated but unparseable line is still a hard error — the
+  // torn-tail tolerance applies only to the final unterminated record.
+  std::stringstream corrupt(full + "{\"event\":\"checkpoint\"\n");
+  EXPECT_FALSE(telemetry::ReplayJournal(corrupt).ok());
+}
+
+TEST(TelemetryJournalTest, TruncationAtEveryByteOffsetReplaysIntactPrefix) {
+  const CampaignOptions options = TestOptions(1, 100);
+  std::stringstream stream;
+  telemetry::WriteCampaignStart(stream, options, "SOFT", "mariadb", 1);
+  std::vector<CampaignCheckpoint> written;
+  for (int i = 1; i <= 3; ++i) {
+    written.push_back(TestCheckpoint(10 * i, i));
+    telemetry::WriteCheckpointRecord(stream, written.back());
+  }
+  const std::string full = stream.str();
+
+  std::vector<size_t> line_ends;  // offset one past each '\n'
+  for (size_t i = 0; i < full.size(); ++i) {
+    if (full[i] == '\n') {
+      line_ends.push_back(i + 1);
+    }
+  }
+  ASSERT_EQ(line_ends.size(), 4u);
+
+  for (size_t len = 0; len <= full.size(); ++len) {
+    std::stringstream in(full.substr(0, len));
+    const Result<telemetry::JournalReplay> replayed = telemetry::ReplayJournal(in);
+    if (len < line_ends.front()) {
+      // campaign_start itself is torn away: nothing to replay from.
+      EXPECT_FALSE(replayed.ok()) << "offset " << len;
+      continue;
+    }
+    ASSERT_TRUE(replayed.ok()) << "offset " << len << ": "
+                               << replayed.status().message();
+    size_t complete_lines = 0;
+    for (const size_t end : line_ends) {
+      complete_lines += end <= len ? 1 : 0;
+    }
+    // Exactly the fully-written checkpoints survive, in order.
+    ASSERT_EQ(replayed->checkpoints.size(), complete_lines - 1) << "offset " << len;
+    for (size_t i = 0; i < replayed->checkpoints.size(); ++i) {
+      EXPECT_EQ(replayed->checkpoints[i], written[i]) << "offset " << len;
+    }
+    EXPECT_EQ(replayed->torn_tail, full[len - 1] != '\n') << "offset " << len;
+    EXPECT_FALSE(replayed->finished);
+  }
+}
+
+TEST(TelemetryJournalTest, ReplayAcceptsChaosMarker) {
+  const CampaignOptions options = TestOptions(1, 100);
+  std::stringstream stream;
+  telemetry::WriteCampaignStart(stream, options, "SOFT", "mariadb", 1);
+  telemetry::WriteChaosMarker(stream, "io.write=error,eval.enter=after:50");
+  const Result<telemetry::JournalReplay> replayed = telemetry::ReplayJournal(stream);
+  ASSERT_TRUE(replayed.ok()) << replayed.status().message();
+  ASSERT_EQ(replayed->chaos_specs.size(), 1u);
+  EXPECT_EQ(replayed->chaos_specs[0], "io.write=error,eval.enter=after:50");
+}
+
+TEST(TelemetryJournalTest, ResumeFromTornJournalMatchesUninterruptedRun) {
+  CampaignOptions options = TestOptions(7, 4000);
+  options.checkpoint_every = 500;
+  std::stringstream stream;
+  telemetry::WriteCampaignStart(stream, options, "SOFT", "mariadb", 1);
+  options.checkpoint_sink = [&stream](const CampaignCheckpoint& cp) {
+    telemetry::WriteCheckpointRecord(stream, cp);
+    return stream.good();
+  };
+  const CampaignResult uninterrupted = RunShardedSoftCampaign("mariadb", options, 1);
+  const std::string full = stream.str();
+  ASSERT_GT(full.size(), 40u);
+
+  // The producer dies mid-record: keep the intact prefix plus a torn tail.
+  const std::string journal_path =
+      "torn_resume_" + std::to_string(::getpid()) + ".ndjson";
+  {
+    std::ofstream out(journal_path, std::ios::trunc);
+    out << full.substr(0, full.size() - 25);
+  }
+
+  const Result<ResumeSpec> spec = LoadResumeSpec(journal_path);
+  std::remove(journal_path.c_str());
+  ASSERT_TRUE(spec.ok()) << spec.status().message();
+  EXPECT_TRUE(spec->has_checkpoint);
+  EXPECT_FALSE(spec->finished);
+
+  CampaignOptions resume_base;
+  const Result<CampaignResult> resumed = ResumeSoftCampaign(*spec, resume_base);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().message();
+  EXPECT_EQ(resumed->statements_executed, uninterrupted.statements_executed);
+  ASSERT_EQ(resumed->unique_bugs.size(), uninterrupted.unique_bugs.size());
+  for (size_t i = 0; i < resumed->unique_bugs.size(); ++i) {
+    EXPECT_EQ(resumed->unique_bugs[i].crash.bug_id,
+              uninterrupted.unique_bugs[i].crash.bug_id);
+    EXPECT_EQ(resumed->unique_bugs[i].poc_sql, uninterrupted.unique_bugs[i].poc_sql);
   }
 }
 

@@ -455,6 +455,7 @@ TEST(Checkpoints, RealModeForwardsTheSimulatedCheckpointStream) {
   sim.checkpoint_every = 2;
   sim.checkpoint_sink = [&sim_checkpoints](const CampaignCheckpoint& cp) {
     sim_checkpoints.push_back(cp);
+    return true;
   };
   ScriptedFuzzer sim_fuzzer(script);
   auto sim_db = MakeCrashMatrixDb();
@@ -466,6 +467,7 @@ TEST(Checkpoints, RealModeForwardsTheSimulatedCheckpointStream) {
   real.crash_realism = CrashRealism::kReal;
   real.checkpoint_sink = [&real_checkpoints](const CampaignCheckpoint& cp) {
     real_checkpoints.push_back(cp);
+    return true;
   };
   const WorkerShardOutcome outcome = RunShardInWorkerProcess(
       [&script] { return std::make_unique<ScriptedFuzzer>(script); },
@@ -484,12 +486,14 @@ TEST(Checkpoints, SoftCampaignCheckpointsAreDeterministic) {
   std::vector<CampaignCheckpoint> first;
   options.checkpoint_sink = [&first](const CampaignCheckpoint& cp) {
     first.push_back(cp);
+    return true;
   };
   RunShardedSoftCampaign("mariadb", options, 1);
 
   std::vector<CampaignCheckpoint> second;
   options.checkpoint_sink = [&second](const CampaignCheckpoint& cp) {
     second.push_back(cp);
+    return true;
   };
   RunShardedSoftCampaign("mariadb", options, 1);
 
@@ -531,6 +535,7 @@ TEST(CheckpointResume, Kill9MidCampaignResumesBitIdentical) {
     child.checkpoint_sink = [&out](const CampaignCheckpoint& cp) {
       telemetry::WriteCheckpointRecord(out, cp);
       out.flush();
+      return out.good();
     };
     RunShardedSoftCampaign("duckdb", child, 1);
     ::_exit(0);
