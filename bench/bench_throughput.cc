@@ -9,7 +9,9 @@
 // --crash-mode=sim|real apply the statement watchdog / real-crash worker
 // harness (docs/ROBUSTNESS.md) to the sharded campaign, so their overhead is
 // measurable; --resume=<journal> benchmarks a checkpoint-verified resume of
-// that journal instead of a fresh campaign.
+// that journal instead of a fresh campaign. --trace=<path> enables span
+// tracing during the sharded campaign (so its overhead is measurable) and
+// exports the final iteration's Chrome trace-event JSON.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
@@ -33,6 +35,7 @@ namespace soft {
 int g_bench_threads = 0;           // 0 = unset; resolved by BenchThreads()
 std::string g_telemetry_path;      // set by --telemetry=<path>
 std::string g_resume_path;         // set by --resume=<journal>
+std::string g_trace_path;          // set by --trace=<path>
 int g_timeout_ms = 0;              // set by --timeout-ms=<n>
 bool g_crash_real = false;         // set by --crash-mode=real
 
@@ -146,6 +149,7 @@ void BM_ShardedSoftCampaign(benchmark::State& state) {
   options.statement_limits.deadline_ms = g_timeout_ms;
   options.crash_realism =
       g_crash_real ? CrashRealism::kReal : CrashRealism::kSimulated;
+  options.trace_sample = g_trace_path.empty() ? 0 : 1;
   CampaignResult last;
   uint64_t last_wall_ns = 0;
   for (auto _ : state) {
@@ -173,6 +177,15 @@ void BM_ShardedSoftCampaign(benchmark::State& state) {
     last = std::move(result);
   }
   state.counters["shards"] = shards;
+  if (!g_trace_path.empty()) {
+    const Status status = telemetry::WriteChromeTraceFile(g_trace_path, last);
+    if (status.ok()) {
+      std::printf("wrote Chrome trace (%zu spans) to %s\n", last.trace.spans.size(),
+                  g_trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write trace: %s\n", status.message().c_str());
+    }
+  }
   if (!g_telemetry_path.empty()) {
     const Status status =
         telemetry::WriteCampaignJournalFile(g_telemetry_path, options, last,
@@ -200,6 +213,8 @@ int main(int argc, char** argv) {
       soft::g_telemetry_path = argv[i] + 12;
     } else if (std::strncmp(argv[i], "--resume=", 9) == 0) {
       soft::g_resume_path = argv[i] + 9;
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      soft::g_trace_path = argv[i] + 8;
     } else if (std::strncmp(argv[i], "--timeout-ms=", 13) == 0) {
       soft::g_timeout_ms = std::atoi(argv[i] + 13);
       if (soft::g_timeout_ms < 0) {

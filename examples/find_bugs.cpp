@@ -26,6 +26,14 @@
 //   --chaos=list              print the failpoint site inventory and exit
 //   --chaos=enumerate         run the chaos smoke oracle once per failpoint
 //                             (non-zero exit when any site's oracle fails)
+//   --shards=<k>              split the campaign across k shards (case
+//                             partitioning: the merged result is bit-identical
+//                             to the serial run at any budget)
+//   --trace=<path>            export a Perfetto-loadable Chrome trace-event
+//                             JSON file of the campaign's span tree
+//                             (docs/OBSERVABILITY.md, tools/check_trace_json.py)
+//   --trace-sample=<n>        trace every nth statement (default 1 when
+//                             --trace is given: every statement)
 //
 // Exit codes: 0 success, 1 bad usage / hard failure, 2 chaos oracle failed,
 // 3 campaign finished but its telemetry journal degraded mid-run.
@@ -52,7 +60,8 @@ void PrintUsage(const char* argv0) {
                "usage: %s [dialect] [budget] [--telemetry=<path>]\n"
                "          [--checkpoint-every=<n>] [--timeout-ms=<n>]\n"
                "          [--crash-mode=sim|real] [--resume=<journal>]\n"
-               "          [--chaos=<spec>|list|enumerate]\n",
+               "          [--chaos=<spec>|list|enumerate] [--shards=<k>]\n"
+               "          [--trace=<path>] [--trace-sample=<n>]\n",
                argv0);
 }
 
@@ -103,9 +112,12 @@ int main(int argc, char** argv) {
   std::string telemetry_path;
   std::string resume_path;
   std::string chaos_spec;
+  std::string trace_path;
   std::string crash_mode = "sim";
   int timeout_ms = 0;
   int checkpoint_every = -1;  // -1: default (1000 with a journal, else 0)
+  int trace_sample = 0;       // 0: default (1 when --trace is given, else off)
+  int shards = 1;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--telemetry=", 12) == 0) {
@@ -114,10 +126,14 @@ int main(int argc, char** argv) {
       resume_path = argv[i] + 9;
     } else if (std::strncmp(argv[i], "--chaos=", 8) == 0) {
       chaos_spec = argv[i] + 8;
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      trace_path = argv[i] + 8;
     } else if (std::strncmp(argv[i], "--crash-mode=", 13) == 0) {
       crash_mode = argv[i] + 13;
     } else if (ParseIntFlag(argv[i], "--timeout-ms=", &timeout_ms) ||
-               ParseIntFlag(argv[i], "--checkpoint-every=", &checkpoint_every)) {
+               ParseIntFlag(argv[i], "--checkpoint-every=", &checkpoint_every) ||
+               ParseIntFlag(argv[i], "--trace-sample=", &trace_sample) ||
+               ParseIntFlag(argv[i], "--shards=", &shards)) {
       // parsed
     } else if (argv[i][0] == '-') {
       std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
@@ -135,6 +151,22 @@ int main(int argc, char** argv) {
   }
   if (timeout_ms < 0) {
     std::fprintf(stderr, "--timeout-ms must be >= 0\n");
+    return 1;
+  }
+  if (trace_sample < 0) {
+    std::fprintf(stderr, "--trace-sample must be >= 0\n");
+    return 1;
+  }
+  if (shards < 1) {
+    std::fprintf(stderr, "--shards must be >= 1\n");
+    return 1;
+  }
+  if (trace_path.empty() && trace_sample > 0) {
+    std::fprintf(stderr, "--trace-sample needs --trace=<path>\n");
+    return 1;
+  }
+  if (!resume_path.empty() && shards != 1) {
+    std::fprintf(stderr, "--resume replays a single-shard campaign; drop --shards\n");
     return 1;
   }
   if (!resume_path.empty() && !positional.empty()) {
@@ -170,7 +202,17 @@ int main(int argc, char** argv) {
   if (checkpoint_every < 0) {
     checkpoint_every = telemetry_path.empty() ? 0 : 1000;
   }
+  if (shards > 1 && checkpoint_every > 0) {
+    // Shards run on concurrent threads; a shared checkpoint stream would
+    // interleave. The journal still gets its header and derived tail.
+    std::printf("note: checkpointing disabled for sharded runs (--resume is "
+                "single-shard)\n");
+    checkpoint_every = 0;
+  }
   options.checkpoint_every = checkpoint_every;
+  if (!trace_path.empty()) {
+    options.trace_sample = trace_sample > 0 ? trace_sample : 1;
+  }
 
   // Streaming journal: header + live checkpoints, tail after the run. An
   // interrupted process leaves header + checkpoints = a resumable journal.
@@ -268,6 +310,9 @@ int main(int argc, char** argv) {
                 dialect.c_str(), db->registry().size(),
                 db->config().cast_options.strict ? "yes" : "no");
     std::printf("budget:  %d statements", budget);
+    if (shards > 1) {
+      std::printf("  [%d shards]", shards);
+    }
     if (options.crash_realism == soft::CrashRealism::kReal) {
       std::printf("  [real-crash workers]");
     }
@@ -278,16 +323,17 @@ int main(int argc, char** argv) {
     db.reset();  // the campaign builds its own instance
 
     if (journal.is_open()) {
-      soft::telemetry::WriteCampaignStart(journal, options, "SOFT", dialect, 1);
+      soft::telemetry::WriteCampaignStart(journal, options, "SOFT", dialect, shards);
       if (!chaos_spec.empty()) {
         soft::telemetry::WriteChaosMarker(journal, chaos_spec);
       }
       journal.flush();
     }
     const soft::telemetry::WallTimer timer;
-    // One shard through the sharded runner: bit-identical to the plain
-    // serial run, and it is the path that honours --crash-mode=real.
-    result = soft::RunShardedSoftCampaign(dialect, options, /*shards=*/1);
+    // The sharded runner partitions the case order, so any shard count is
+    // bit-identical to the plain serial run, and it is the path that honours
+    // --crash-mode=real.
+    result = soft::RunShardedSoftCampaign(dialect, options, shards);
     campaign_wall_ns = timer.ElapsedNs();
   }
 
@@ -323,6 +369,22 @@ int main(int argc, char** argv) {
     std::printf("%s:%d  ", crash.c_str(), count);
   }
   std::printf("\n");
+  // Stable digest over the result's deterministic fields — CI compares this
+  // line across traced/untraced and sim/real runs to prove observability
+  // never perturbs outcomes.
+  std::printf("outcome digest: 0x%016llx\n",
+              static_cast<unsigned long long>(soft::DigestCampaignResult(result)));
+
+  if (!trace_path.empty()) {
+    const soft::Status wrote = soft::telemetry::WriteChromeTraceFile(trace_path, result);
+    if (!wrote.ok()) {
+      std::fprintf(stderr, "failed to write trace '%s': %s\n", trace_path.c_str(),
+                   wrote.message().c_str());
+      return 1;
+    }
+    std::printf("wrote Chrome trace (%zu spans) to %s\n", result.trace.spans.size(),
+                trace_path.c_str());
+  }
 
   if (journal.is_open()) {
     soft::telemetry::WriteCampaignTail(journal, result, campaign_wall_ns);

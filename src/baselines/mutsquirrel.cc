@@ -88,6 +88,7 @@ CampaignResult MutSquirrel::Run(Database& db, const CampaignOptions& options) {
   result.tool = name();
   result.dialect = db.config().name;
   const telemetry::ScopedCollector telem(&result.telemetry);
+  const ScopedBaselineRecorders recorders(result, options);
   Rng rng(options.seed ^ 0x535155ull);
   std::set<int> found_ids;
   uint64_t dedup_digest = kDedupDigestSeed;

@@ -9,6 +9,7 @@
 
 #include "src/engine/database.h"
 #include "src/telemetry/telemetry.h"
+#include "src/telemetry/trace.h"
 
 namespace soft {
 
@@ -85,6 +86,13 @@ struct CampaignOptions {
   // pretending the journal is intact (docs/ROBUSTNESS.md).
   int checkpoint_every = 0;
   std::function<bool(const CampaignCheckpoint&)> checkpoint_sink;
+
+  // Span tracing (src/telemetry/trace.h): 0 disables tracing (the default —
+  // campaigns carry an empty trace); N ≥ 1 records a statement span with
+  // stage children for every N-th executed statement (1 = all). Strictly
+  // observational — bug sets, coverage, and outcome digests are identical at
+  // every setting. Exposed as find_bugs --trace-sample=N.
+  int trace_sample = 0;
 };
 
 struct FoundBug {
@@ -99,10 +107,15 @@ struct FoundBug {
   // attribution is independent of thread scheduling.
   int shard = 0;
   // Wall-clock nanoseconds from campaign start to this first witness,
-  // stamped when telemetry is recording (0 otherwise). Observational only —
-  // exported to the NDJSON journal, never part of the determinism contract
-  // and never compared by the bit-identical-merge tests.
+  // stamped when telemetry is recording. Observational only — exported to
+  // the NDJSON journal, never part of the determinism contract and never
+  // compared by the bit-identical-merge tests. `wall_recorded` says whether
+  // a collector was actually recording: a 0 with wall_recorded == true is a
+  // genuine sub-nanosecond-resolution hit, a 0 with wall_recorded == false
+  // means "no telemetry" (journal `first_witness` events carry this as the
+  // `recorded` field so the two are distinguishable offline).
   int64_t found_wall_ns = 0;
+  bool wall_recorded = false;
 };
 
 struct CampaignResult {
@@ -140,6 +153,19 @@ struct CampaignResult {
   // or under telemetry::SetRuntimeEnabled(false).
   telemetry::CampaignTelemetry telemetry;
   std::vector<telemetry::CampaignTelemetry> shard_telemetry;
+
+  // Causal span trace (src/telemetry/trace.h). Empty unless
+  // CampaignOptions::trace_sample > 0. Serial in-process runs carry their
+  // statement spans; the sharded runner adds shard/worker-run structure and
+  // the campaign root at merge (shard-index order, deterministic). Strictly
+  // observational — excluded from the outcome digest and the bit-identity
+  // comparisons.
+  trace::TraceData trace;
+
+  // Flight records for every worker death in a kReal campaign, shard-index
+  // ordered (src/telemetry/trace.h). Exported as `crash_flight` journal
+  // events. Empty for simulated campaigns.
+  std::vector<trace::CrashFlightRecord> crash_flights;
 };
 
 inline CampaignCheckpoint MakeCheckpoint(const CampaignOptions& options,

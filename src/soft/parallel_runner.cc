@@ -37,9 +37,66 @@ ParallelCampaignRunner::ParallelCampaignRunner(FuzzerFactory make_fuzzer,
                                                DatabaseFactory make_database)
     : make_fuzzer_(std::move(make_fuzzer)), make_database_(std::move(make_database)) {}
 
+namespace {
+
+// Builds the shard's structural span (campaign → shard) and rebases the
+// shard-local spans already in `result.trace` onto the campaign clock.
+// For in-process (simulated) shards a synthetic worker-run span is added
+// first so the tree shape matches the forked path:
+// campaign → shard → worker-run → statement. Observational only.
+void AttachShardSpans(CampaignResult& result, int shard, uint64_t shard_start_ns,
+                      uint64_t shard_end_ns, bool in_process) {
+  const std::string& dialect = result.dialect;
+  const uint64_t campaign_id =
+      trace::SpanId(dialect, -1, trace::SpanKind::kCampaign, 0);
+  const uint64_t shard_id = trace::SpanId(dialect, shard, trace::SpanKind::kShard, 0);
+  if (in_process) {
+    // One synthetic run covering the whole shard; statement spans (recorded
+    // with parent 0 — the fuzzer cannot know its run ordinal) hang off it.
+    const uint64_t run_id =
+        trace::SpanId(dialect, shard, trace::SpanKind::kWorkerRun, 0);
+    for (trace::TraceSpan& span : result.trace.spans) {
+      if (span.kind == trace::SpanKind::kStatement && span.parent_id == 0) {
+        span.parent_id = run_id;
+      }
+    }
+    trace::TraceSpan run;
+    run.id = run_id;
+    run.parent_id = shard_id;
+    run.kind = trace::SpanKind::kWorkerRun;
+    run.shard = shard;
+    run.start_ns = 0;
+    run.dur_ns = shard_end_ns - shard_start_ns;
+    run.args.emplace_back("run", "0");
+    run.args.emplace_back("verdict", "in-process");
+    result.trace.spans.insert(result.trace.spans.begin(), std::move(run));
+  }
+  // Rebase everything recorded so far (run/statement/stage spans are on the
+  // shard clock) onto the campaign clock, then prepend the shard span.
+  for (trace::TraceSpan& span : result.trace.spans) {
+    span.start_ns += shard_start_ns;
+  }
+  trace::TraceSpan shard_span;
+  shard_span.id = shard_id;
+  shard_span.parent_id = campaign_id;
+  shard_span.kind = trace::SpanKind::kShard;
+  shard_span.shard = shard;
+  shard_span.start_ns = shard_start_ns;
+  shard_span.dur_ns = shard_end_ns - shard_start_ns;
+  shard_span.args.emplace_back("statements",
+                               std::to_string(result.statements_executed));
+  shard_span.args.emplace_back("mode", in_process ? "sim" : "real");
+  result.trace.spans.insert(result.trace.spans.begin(), std::move(shard_span));
+}
+
+}  // namespace
+
 ParallelCampaignRunner::ShardOutcome ParallelCampaignRunner::RunShard(
-    const ShardPlan& plan) const {
+    const ShardPlan& plan, uint64_t campaign_base_ns) const {
   ShardOutcome outcome;
+  const bool tracing = plan.options.trace_sample > 0;
+  const uint64_t shard_start_ns =
+      tracing ? telemetry::MonotonicNowNs() - campaign_base_ns : 0;
   if (plan.options.crash_realism == CrashRealism::kReal) {
     // Real crashes must not kill the campaign process: run the shard inside
     // supervised forked workers. Deterministic replay makes the returned
@@ -51,6 +108,11 @@ ParallelCampaignRunner::ShardOutcome ParallelCampaignRunner::RunShard(
     outcome.stats = worker.stats;
     for (FoundBug& bug : outcome.result.unique_bugs) {
       bug.shard = plan.shard;
+    }
+    if (tracing) {
+      AttachShardSpans(outcome.result, plan.shard, shard_start_ns,
+                       telemetry::MonotonicNowNs() - campaign_base_ns,
+                       /*in_process=*/false);
     }
     return outcome;
   }
@@ -64,6 +126,11 @@ ParallelCampaignRunner::ShardOutcome ParallelCampaignRunner::RunShard(
     bug.shard = plan.shard;
   }
   outcome.coverage = db->coverage();
+  if (tracing) {
+    AttachShardSpans(outcome.result, plan.shard, shard_start_ns,
+                     telemetry::MonotonicNowNs() - campaign_base_ns,
+                     /*in_process=*/true);
+  }
   return outcome;
 }
 
@@ -99,6 +166,28 @@ CampaignResult ParallelCampaignRunner::Merge(std::vector<ShardOutcome> outcomes)
     merged.shard_telemetry.push_back(r.telemetry);
     coverage.MergeFrom(outcome.coverage);
     witnesses.insert(witnesses.end(), r.unique_bugs.begin(), r.unique_bugs.end());
+    // Trace spans and flight records concatenate in shard index order — the
+    // merged trace is a pure function of the shard outcomes, like telemetry.
+    merged.trace.Append(r.trace);
+    merged.crash_flights.insert(merged.crash_flights.end(), r.crash_flights.begin(),
+                                r.crash_flights.end());
+  }
+  if (!merged.trace.empty()) {
+    // Campaign root span: starts at the campaign clock origin and covers the
+    // latest shard end. Prepended so exports list the root first.
+    trace::TraceSpan root;
+    root.id = trace::SpanId(merged.dialect, -1, trace::SpanKind::kCampaign, 0);
+    root.kind = trace::SpanKind::kCampaign;
+    root.shard = -1;
+    for (const trace::TraceSpan& span : merged.trace.spans) {
+      if (span.kind == trace::SpanKind::kShard) {
+        root.dur_ns = std::max(root.dur_ns, span.start_ns + span.dur_ns);
+      }
+    }
+    root.args.emplace_back("tool", merged.tool);
+    root.args.emplace_back("dialect", merged.dialect);
+    root.args.emplace_back("shards", std::to_string(merged.shards));
+    merged.trace.spans.insert(merged.trace.spans.begin(), std::move(root));
   }
 
   // Dedupe by crash identity, keeping the lowest (shard,
@@ -135,16 +224,18 @@ CampaignResult ParallelCampaignRunner::Merge(std::vector<ShardOutcome> outcomes)
 CampaignResult ParallelCampaignRunner::Run(const CampaignOptions& options, int shards,
                                            ShardMode mode) const {
   const std::vector<ShardPlan> plans = PlanShards(options, shards, mode);
+  const uint64_t campaign_base_ns = telemetry::MonotonicNowNs();
   std::vector<ShardOutcome> outcomes(plans.size());
   if (plans.size() == 1) {
-    outcomes[0] = RunShard(plans[0]);
+    outcomes[0] = RunShard(plans[0], campaign_base_ns);
     return Merge(std::move(outcomes));
   }
   std::vector<std::thread> workers;
   workers.reserve(plans.size());
   for (size_t i = 0; i < plans.size(); ++i) {
-    workers.emplace_back(
-        [this, &plans, &outcomes, i] { outcomes[i] = RunShard(plans[i]); });
+    workers.emplace_back([this, &plans, &outcomes, campaign_base_ns, i] {
+      outcomes[i] = RunShard(plans[i], campaign_base_ns);
+    });
   }
   for (std::thread& worker : workers) {
     worker.join();
@@ -155,9 +246,10 @@ CampaignResult ParallelCampaignRunner::Run(const CampaignOptions& options, int s
 CampaignResult ParallelCampaignRunner::RunSerial(const CampaignOptions& options,
                                                  int shards, ShardMode mode) const {
   const std::vector<ShardPlan> plans = PlanShards(options, shards, mode);
+  const uint64_t campaign_base_ns = telemetry::MonotonicNowNs();
   std::vector<ShardOutcome> outcomes(plans.size());
   for (size_t i = 0; i < plans.size(); ++i) {
-    outcomes[i] = RunShard(plans[i]);
+    outcomes[i] = RunShard(plans[i], campaign_base_ns);
   }
   return Merge(std::move(outcomes));
 }

@@ -104,7 +104,10 @@ class ParallelCampaignRunner {
     WorkerRunStats stats;
   };
 
-  ShardOutcome RunShard(const ShardPlan& plan) const;
+  // `campaign_base_ns` is the absolute MonotonicNowNs() reading taken at
+  // Run/RunSerial entry — the campaign clock origin every shard's spans are
+  // rebased onto (observational; unused when tracing is off).
+  ShardOutcome RunShard(const ShardPlan& plan, uint64_t campaign_base_ns) const;
   CampaignResult Merge(std::vector<ShardOutcome> outcomes) const;
 
   FuzzerFactory make_fuzzer_;

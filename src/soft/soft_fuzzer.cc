@@ -24,6 +24,13 @@ CampaignResult SoftFuzzer::Run(Database& db, const CampaignOptions& options) {
   // only — no RNG draw or control-flow decision reads telemetry state, so
   // results are bit-identical with recording on or off.
   const telemetry::ScopedCollector telem(&result.telemetry);
+  // Span tracer (opt-in via trace_sample) and crash flight recorder (kReal
+  // campaigns only) — both strictly observational, like the collector.
+  const trace::ScopedStatementTracer tracer(
+      options.trace_sample > 0 ? &result.trace : nullptr, result.dialect,
+      options.shard_index, options.trace_sample);
+  const trace::ScopedFlightRecorder flight(options.crash_realism ==
+                                           CrashRealism::kReal);
 
   const size_t expected_bugs = db.faults().bug_count();
   Rng rng(options.seed);
@@ -123,14 +130,24 @@ CampaignResult SoftFuzzer::Run(Database& db, const CampaignOptions& options) {
     const GeneratedCase& test_case = cases[case_index];
     ++result.statements_executed;
     telemetry::CountExecuted(test_case.pattern);
+    // Flight ring entry and (sampled) statement span open before Execute:
+    // a real-signal crash inside Execute leaves exactly this context for the
+    // announcement to flush.
+    trace::FlightBeginStatement(result.statements_executed, test_case.pattern,
+                                test_case.sql);
+    trace::BeginStatement(result.statements_executed, test_case.pattern);
     const StatementResult r = db.Execute(test_case.sql);
     bool stop = false;
+    std::string_view outcome = "ok";
     if (r.crashed()) {
+      outcome = "crash";
       ++result.crashes_observed;
       telemetry::CountCrash(test_case.pattern);
+      trace::AnnotateStatement("bug_id", std::to_string(r.crash->bug_id));
       if (found_ids.insert(r.crash->bug_id).second) {
         telemetry::CountBugDeduped(test_case.pattern);
         dedup_digest = DedupDigestStep(dedup_digest, r.crash->bug_id);
+        trace::AnnotateStatement("first_witness", "1");
         FoundBug bug;
         bug.crash = *r.crash;
         bug.poc_sql = test_case.sql;
@@ -138,24 +155,30 @@ CampaignResult SoftFuzzer::Run(Database& db, const CampaignOptions& options) {
         bug.statements_until_found = result.statements_executed;
         bug.found_wall_ns =
             static_cast<int64_t>(telemetry::WallSinceCollectorStartNs());
+        bug.wall_recorded = telemetry::CollectorInstalled();
         result.unique_bugs.push_back(std::move(bug));
       }
       stop = options.stop_when_all_bugs_found && found_ids.size() >= expected_bugs;
     } else if (r.status.code() == StatusCode::kTimeout) {
       // The statement watchdog killed the query at its deadline: a clean
       // termination, counted separately from crashes and false positives.
+      outcome = "timeout";
       ++result.watchdog_timeouts;
       telemetry::CountTimeout(test_case.pattern);
     } else if (r.status.code() == StatusCode::kResourceExhausted) {
       // The server killed the query on a resource limit: initially flagged
       // as a crash by the detector, later triaged as a false positive
       // (Section 7.3's REPEAT('a', 9999999999) class).
+      outcome = "resource_exhausted";
       ++result.false_positives;
       telemetry::CountFalsePositive(test_case.pattern);
     } else if (!r.ok()) {
+      outcome = "sql_error";
       ++result.sql_errors;
       telemetry::CountSqlError(test_case.pattern);
     }
+    trace::EndStatement(outcome);
+    trace::FlightEndStatement(outcome);
     if (options.checkpoint_every > 0 && options.checkpoint_sink &&
         !result.journal_degraded &&
         result.statements_executed % options.checkpoint_every == 0) {

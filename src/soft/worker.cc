@@ -4,14 +4,18 @@
 // Pipe line protocol (child → supervisor, one record per '\n'-terminated
 // line, space-separated tokens; strings hex-encoded, "-" for empty):
 //
+//   F  <index> <pattern> <sql> <stage> <outcome>
+//        one crash-flight ring entry (oldest first), flushed as a block
+//        right before a crash announcement — the last F line is the
+//        crashing statement itself
 //   C  <bug_id> <dbms> <function> <crash> <stage> <pattern> <description>
 //        crash announcement, flushed before the signal is raised
 //   K  <every> <shard> <cases> <sql_errors> <crashes> <fps> <timeouts>
 //        <unique_bugs> <rng_fingerprint> <dedup_digest>
 //        checkpoint record, forwarded to the shard's checkpoint sink
-//   RES/SST/BUG/CVB/TLS/TLP/END
-//        the completed CampaignResult + coverage + telemetry block, written
-//        only by a child that finished its campaign
+//   RES/SST/BUG/CVB/TLS/TLP/TRS/END
+//        the completed CampaignResult + coverage + telemetry + trace-span
+//        block, written only by a child that finished its campaign
 #include "src/soft/worker.h"
 
 #include <sys/types.h>
@@ -28,6 +32,8 @@
 #include <vector>
 
 #include "src/failpoint/failpoint.h"
+#include "src/telemetry/telemetry.h"
+#include "src/telemetry/trace.h"
 #include "src/util/io.h"
 
 namespace soft {
@@ -110,6 +116,53 @@ bool DecodeCrash(std::istringstream& in, CrashInfo& info) {
   return true;
 }
 
+std::string EncodeFlightEntry(const trace::FlightEntry& e) {
+  std::ostringstream out;
+  out << e.statement_index << ' ' << HexEncode(e.pattern) << ' ' << HexEncode(e.sql)
+      << ' ' << HexEncode(e.stage_reached) << ' ' << HexEncode(e.outcome);
+  return out.str();
+}
+
+bool DecodeFlightEntry(std::istringstream& in, trace::FlightEntry& e) {
+  std::string pattern, sql, stage, outcome;
+  if (!(in >> e.statement_index >> pattern >> sql >> stage >> outcome)) {
+    return false;
+  }
+  e.pattern = HexDecode(pattern);
+  e.sql = HexDecode(sql);
+  e.stage_reached = HexDecode(stage);
+  e.outcome = HexDecode(outcome);
+  return true;
+}
+
+std::string EncodeSpan(const trace::TraceSpan& s) {
+  std::ostringstream out;
+  out << s.id << ' ' << s.parent_id << ' ' << static_cast<int>(s.kind) << ' '
+      << s.shard << ' ' << s.start_ns << ' ' << s.dur_ns << ' ' << s.args.size();
+  for (const auto& [key, value] : s.args) {
+    out << ' ' << HexEncode(key) << ' ' << HexEncode(value);
+  }
+  return out.str();
+}
+
+bool DecodeSpan(std::istringstream& in, trace::TraceSpan& s) {
+  int kind = 0;
+  size_t arg_count = 0;
+  if (!(in >> s.id >> s.parent_id >> kind >> s.shard >> s.start_ns >> s.dur_ns >>
+        arg_count)) {
+    return false;
+  }
+  s.kind = static_cast<trace::SpanKind>(kind);
+  for (size_t i = 0; i < arg_count; ++i) {
+    std::string key, value;
+    if (!(in >> key >> value)) {
+      return false;
+    }
+    s.args.emplace_back(HexDecode(key), HexDecode(value));
+  }
+  return true;
+}
+
 std::string EncodeCheckpoint(const CampaignCheckpoint& cp) {
   std::ostringstream out;
   out << cp.every << ' ' << cp.shard << ' ' << cp.cases_completed << ' '
@@ -145,7 +198,7 @@ void WriteResultBlock(int fd, const CampaignResult& result,
     std::ostringstream out;
     out << "BUG " << EncodeCrash(bug.crash) << ' ' << HexEncode(bug.found_by) << ' '
         << HexEncode(bug.poc_sql) << ' ' << bug.statements_until_found << ' '
-        << bug.shard << ' ' << bug.found_wall_ns;
+        << bug.shard << ' ' << bug.found_wall_ns << ' ' << (bug.wall_recorded ? 1 : 0);
     WriteLine(fd, out.str());
   }
   for (const std::string& key : coverage.BranchKeys()) {
@@ -166,6 +219,9 @@ void WriteResultBlock(int fd, const CampaignResult& result,
         << ' ' << c.crashes << ' ' << c.bugs_deduped << ' ' << c.sql_errors << ' '
         << c.false_positives << ' ' << c.timeouts;
     WriteLine(fd, out.str());
+  }
+  for (const trace::TraceSpan& span : result.trace.spans) {
+    WriteLine(fd, "TRS " + EncodeSpan(span));
   }
   WriteLine(fd, "END");
 }
@@ -201,6 +257,18 @@ void WriteResultBlock(int fd, const CampaignResult& result,
         ::pause();  // the SIGALRM backstop (or the supervisor) ends this
       }
     }
+    // Flush the crash flight ring (oldest first) ahead of the announcement:
+    // the statement that is crashing right now is the ring's newest entry,
+    // still marked in-flight — stamp it with the crash verdict so the
+    // supervisor-side record is self-describing.
+    std::vector<trace::FlightEntry> entries = trace::FlightSnapshot();
+    if (!entries.empty()) {
+      entries.back().stage_reached = std::string(StageName(info.stage));
+      entries.back().outcome = "crash";
+      for (const trace::FlightEntry& entry : entries) {
+        WriteLine(fd, "F " + EncodeFlightEntry(entry));
+      }
+    }
     WriteLine(fd, "C " + EncodeCrash(info));
   };
   db->set_crash_realism(std::move(policy));
@@ -226,6 +294,8 @@ struct ChildStream {
   bool complete = false;
   CampaignResult result;
   CoverageTracker coverage;
+  // Crash-flight entries flushed ahead of the announcement (oldest first).
+  std::vector<trace::FlightEntry> flight;
 };
 
 void ParseChildLine(const std::string& line, ChildStream& stream,
@@ -241,6 +311,16 @@ void ParseChildLine(const std::string& line, ChildStream& stream,
     if (DecodeCrash(in, info)) {
       stream.crash = std::move(info);
       stream.announced = true;
+    }
+  } else if (tag == "F") {
+    trace::FlightEntry entry;
+    if (DecodeFlightEntry(in, entry)) {
+      stream.flight.push_back(std::move(entry));
+    }
+  } else if (tag == "TRS") {
+    trace::TraceSpan span;
+    if (DecodeSpan(in, span)) {
+      stream.result.trace.spans.push_back(std::move(span));
     }
   } else if (tag == "K") {
     CampaignCheckpoint cp;
@@ -266,11 +346,13 @@ void ParseChildLine(const std::string& line, ChildStream& stream,
   } else if (tag == "BUG") {
     FoundBug bug;
     std::string found_by, poc;
+    int wall_recorded = 0;
     if (DecodeCrash(in, bug.crash) &&
         (in >> found_by >> poc >> bug.statements_until_found >> bug.shard >>
-         bug.found_wall_ns)) {
+         bug.found_wall_ns >> wall_recorded)) {
       bug.found_by = HexDecode(found_by);
       bug.poc_sql = HexDecode(poc);
+      bug.wall_recorded = wall_recorded != 0;
       stream.result.unique_bugs.push_back(std::move(bug));
     }
   } else if (tag == "CVB") {
@@ -337,6 +419,66 @@ WorkerShardOutcome RunShardInWorkerProcess(const WorkerFuzzerFactory& make_fuzze
                                            const WorkerOptions& worker_options) {
   WorkerShardOutcome outcome;
 
+  // Wall base for worker-run span placement: every child life is recorded
+  // as [fork, waitpid] on this shard-local clock, and a completing child's
+  // statement spans (relative to its own campaign start) are shifted onto
+  // it. Observational only.
+  const telemetry::WallTimer shard_timer;
+  struct RunRec {
+    uint64_t start_ns = 0;
+    uint64_t end_ns = 0;
+    std::string verdict;  // completed|crashed|unannounced-death|fork-failed|...
+    int bug_id = 0;       // announced crashes only
+  };
+  std::vector<RunRec> runs;
+  std::vector<trace::CrashFlightRecord> flights;
+  int last_checkpoint_cases = -1;  // newest checkpoint seen on the pipe
+
+  // Attaches the supervision-side observability to the shard's final result:
+  // the collected crash-flight records always, and — when tracing — one
+  // worker-run span per child life (parented under the shard span) with the
+  // completing run's statement spans shifted onto the shard clock and
+  // re-parented under it (the child cannot know its own fork ordinal).
+  const auto attach_observability = [&](CampaignResult& result,
+                                        uint64_t final_run_start_ns) {
+    result.crash_flights = flights;
+    if (options.trace_sample <= 0 || runs.empty()) {
+      return;
+    }
+    const std::string& dialect = result.dialect;
+    const uint64_t shard_span_id =
+        trace::SpanId(dialect, options.shard_index, trace::SpanKind::kShard, 0);
+    const uint64_t final_run_id =
+        trace::SpanId(dialect, options.shard_index, trace::SpanKind::kWorkerRun,
+                      static_cast<int>(runs.size()) - 1);
+    for (trace::TraceSpan& span : result.trace.spans) {
+      span.start_ns += final_run_start_ns;
+      if (span.kind == trace::SpanKind::kStatement && span.parent_id == 0) {
+        span.parent_id = final_run_id;
+      }
+    }
+    std::vector<trace::TraceSpan> run_spans;
+    run_spans.reserve(runs.size());
+    for (size_t i = 0; i < runs.size(); ++i) {
+      trace::TraceSpan span;
+      span.id = trace::SpanId(dialect, options.shard_index,
+                              trace::SpanKind::kWorkerRun, static_cast<int>(i));
+      span.parent_id = shard_span_id;
+      span.kind = trace::SpanKind::kWorkerRun;
+      span.shard = options.shard_index;
+      span.start_ns = runs[i].start_ns;
+      span.dur_ns = runs[i].end_ns - runs[i].start_ns;
+      span.args.emplace_back("run", std::to_string(i));
+      span.args.emplace_back("verdict", runs[i].verdict);
+      if (runs[i].bug_id != 0) {
+        span.args.emplace_back("bug_id", std::to_string(runs[i].bug_id));
+      }
+      run_spans.push_back(std::move(span));
+    }
+    result.trace.spans.insert(result.trace.spans.begin(), run_spans.begin(),
+                              run_spans.end());
+  };
+
   // Restart duplicates: a replaying child re-emits checkpoints it already
   // streamed in a previous life; forward only strictly-new progress. A
   // failing downstream sink latches degradation for the shard — duplicates
@@ -347,6 +489,7 @@ WorkerShardOutcome RunShardInWorkerProcess(const WorkerFuzzerFactory& make_fuzze
   bool sink_degraded = false;
   const std::function<bool(const CampaignCheckpoint&)> forward_checkpoint =
       [&](const CampaignCheckpoint& cp) {
+        last_checkpoint_cases = std::max(last_checkpoint_cases, cp.cases_completed);
         if (!original_sink || sink_degraded || cp.cases_completed <= max_forwarded_cases) {
           return true;
         }
@@ -375,9 +518,15 @@ WorkerShardOutcome RunShardInWorkerProcess(const WorkerFuzzerFactory& make_fuzze
       CampaignOptions degraded = options;
       degraded.crash_realism = CrashRealism::kSimulated;
       degraded.checkpoint_sink = forward_checkpoint;
+      RunRec rec;
+      rec.start_ns = shard_timer.ElapsedNs();
       outcome.result = fuzzer->Run(*db, degraded);
+      rec.end_ns = shard_timer.ElapsedNs();
+      rec.verdict = "degraded-simulated";
+      runs.push_back(rec);
       outcome.result.journal_degraded |= sink_degraded;
       outcome.coverage = db->coverage();
+      attach_observability(outcome.result, rec.start_ns);
       return outcome;
     }
 
@@ -388,12 +537,17 @@ WorkerShardOutcome RunShardInWorkerProcess(const WorkerFuzzerFactory& make_fuzze
     }
     ++outcome.stats.forks;
     const bool die_silently = outcome.stats.forks <= worker_options.test_silent_deaths;
+    RunRec rec;
+    rec.start_ns = shard_timer.ElapsedNs();
     // worker.fork simulates transient fork failure (EAGAIN class); it takes
     // the same backoff/degradation ladder a real fork failure would.
     const pid_t pid = SOFT_FAILPOINT_HIT("worker.fork") ? -1 : ::fork();
     if (pid < 0) {
       ::close(fds[0]);
       ::close(fds[1]);
+      rec.end_ns = shard_timer.ElapsedNs();
+      rec.verdict = "fork-failed";
+      runs.push_back(rec);
       ++outcome.stats.unexpected_deaths;
       ++consecutive_unannounced;
       std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
@@ -410,16 +564,31 @@ WorkerShardOutcome RunShardInWorkerProcess(const WorkerFuzzerFactory& make_fuzze
     ::close(fds[0]);
     int status = 0;
     ::waitpid(pid, &status, 0);
+    rec.end_ns = shard_timer.ElapsedNs();
 
     if (stream.complete) {
+      rec.verdict = "completed";
+      runs.push_back(rec);
       outcome.result = std::move(stream.result);
       outcome.result.journal_degraded |= sink_degraded;
       outcome.coverage = std::move(stream.coverage);
+      attach_observability(outcome.result, rec.start_ns);
       return outcome;
     }
     if (stream.announced) {
       // The expected real-crash path: the pipe identity is authoritative;
       // the exit signal is recorded as a cross-check.
+      trace::CrashFlightRecord flight;
+      flight.shard = options.shard_index;
+      flight.worker_run = static_cast<int>(runs.size());
+      flight.announced = true;
+      flight.bug_id = stream.crash.bug_id;
+      flight.last_checkpoint_cases = last_checkpoint_cases;
+      flight.entries = std::move(stream.flight);
+      flights.push_back(std::move(flight));
+      rec.verdict = "crashed";
+      rec.bug_id = stream.crash.bug_id;
+      runs.push_back(rec);
       ++confirmed_crashes;
       ++outcome.stats.real_crashes;
       consecutive_unannounced = 0;
@@ -432,6 +601,18 @@ WorkerShardOutcome RunShardInWorkerProcess(const WorkerFuzzerFactory& make_fuzze
       }
       continue;
     }
+    // Unannounced death: no flight ring made it out — the record carries the
+    // last checkpoint the supervisor saw, which is where the restart resumes.
+    {
+      trace::CrashFlightRecord flight;
+      flight.shard = options.shard_index;
+      flight.worker_run = static_cast<int>(runs.size());
+      flight.announced = false;
+      flight.last_checkpoint_cases = last_checkpoint_cases;
+      flights.push_back(std::move(flight));
+    }
+    rec.verdict = "unannounced-death";
+    runs.push_back(rec);
     ++outcome.stats.unexpected_deaths;
     if (WIFSIGNALED(status) && WTERMSIG(status) == SIGALRM) {
       ++outcome.stats.alarm_kills;

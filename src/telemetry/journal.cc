@@ -4,6 +4,7 @@
 // SOFT_TELEMETRY.
 #include "src/telemetry/journal.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -176,6 +177,82 @@ bool ExtractDouble(const std::string& line, const std::string& key, double& out)
   return true;
 }
 
+bool ExtractBool(const std::string& line, const std::string& key, bool& out) {
+  std::string token;
+  if (!ExtractNumberToken(line, key, token)) {
+    return false;
+  }
+  out = (token == "true" || token == "1");
+  return true;
+}
+
+// Parses the crash_flight event's "entries":[{...},...] array — the one
+// place the journal nests objects, so the flat extractors cannot be applied
+// to the whole line. Each entry object is located with a string-aware brace
+// scan (the sql text may contain braces), then field-extracted flat.
+bool ParseFlightEntries(const std::string& line,
+                        std::vector<trace::FlightEntry>& out) {
+  const std::string needle = "\"entries\":[";
+  const size_t at = line.find(needle);
+  if (at == std::string::npos) {
+    return false;
+  }
+  size_t pos = at + needle.size();
+  while (pos < line.size()) {
+    while (pos < line.size() && (line[pos] == ',' || line[pos] == ' ')) {
+      ++pos;
+    }
+    if (pos >= line.size()) {
+      return false;
+    }
+    if (line[pos] == ']') {
+      return true;
+    }
+    if (line[pos] != '{') {
+      return false;
+    }
+    size_t end = pos;
+    int depth = 0;
+    bool in_string = false;
+    for (; end < line.size(); ++end) {
+      const char c = line[end];
+      if (in_string) {
+        if (c == '\\') {
+          ++end;
+        } else if (c == '"') {
+          in_string = false;
+        }
+      } else if (c == '"') {
+        in_string = true;
+      } else if (c == '{') {
+        ++depth;
+      } else if (c == '}') {
+        if (--depth == 0) {
+          ++end;
+          break;
+        }
+      }
+    }
+    if (depth != 0) {
+      return false;
+    }
+    const std::string obj = line.substr(pos, end - pos);
+    trace::FlightEntry entry;
+    int64_t index = 0;
+    if (!ExtractInt(obj, "index", index) ||
+        !ExtractString(obj, "pattern", entry.pattern) ||
+        !ExtractString(obj, "stage", entry.stage_reached) ||
+        !ExtractString(obj, "outcome", entry.outcome) ||
+        !ExtractString(obj, "sql", entry.sql)) {
+      return false;
+    }
+    entry.statement_index = static_cast<int>(index);
+    out.push_back(std::move(entry));
+    pos = end;
+  }
+  return false;  // unterminated array
+}
+
 }  // namespace
 
 std::string CampaignTelemetry::ToJson() const {
@@ -258,7 +335,30 @@ void WriteCampaignTail(std::ostream& out, const CampaignResult& result,
         << ",\"pattern\":\"" << EscapeJson(bug.found_by)
         << "\",\"statement_index\":" << bug.statements_until_found
         << ",\"shard\":" << bug.shard << ",\"wall_ms\":"
-        << FormatMs(static_cast<uint64_t>(bug.found_wall_ns)) << "}\n";
+        << FormatMs(static_cast<uint64_t>(bug.found_wall_ns))
+        << ",\"recorded\":" << (bug.wall_recorded ? "true" : "false") << "}\n";
+  }
+  for (const trace::CrashFlightRecord& flight : result.crash_flights) {
+    // Top-level fields precede "entries" so the flat extractors find them
+    // first on replay (the entry objects reuse none of these keys anyway).
+    out << "{\"event\":\"crash_flight\",\"shard\":" << flight.shard
+        << ",\"worker_run\":" << flight.worker_run
+        << ",\"announced\":" << (flight.announced ? "true" : "false")
+        << ",\"bug_id\":" << flight.bug_id
+        << ",\"last_checkpoint_cases\":" << flight.last_checkpoint_cases
+        << ",\"entries\":[";
+    for (size_t i = 0; i < flight.entries.size(); ++i) {
+      const trace::FlightEntry& entry = flight.entries[i];
+      if (i != 0) {
+        out << ',';
+      }
+      out << "{\"index\":" << entry.statement_index << ",\"pattern\":\""
+          << EscapeJson(entry.pattern) << "\",\"stage\":\""
+          << EscapeJson(entry.stage_reached) << "\",\"outcome\":\""
+          << EscapeJson(entry.outcome) << "\",\"sql\":\"" << EscapeJson(entry.sql)
+          << "\"}";
+    }
+    out << "]}\n";
   }
   out << "{\"event\":\"campaign_finish\",\"statements\":" << result.statements_executed
       << ",\"sql_errors\":" << result.sql_errors
@@ -346,7 +446,29 @@ Result<JournalReplay> ReplayJournal(std::istream& in) {
       witness.bug_id = static_cast<int>(bug_id);
       witness.statement_index = static_cast<int>(statement_index);
       witness.shard = static_cast<int>(shard);
+      // Absent in journals written before the recorded flag existed: fall
+      // back to the old (ambiguous) inference — nonzero wall means recorded.
+      if (!ExtractBool(line, "recorded", witness.recorded)) {
+        witness.recorded = witness.wall_ms != 0.0;
+      }
       replay.witnesses.push_back(std::move(witness));
+    } else if (event == "crash_flight") {
+      trace::CrashFlightRecord flight;
+      int64_t shard = 0, worker_run = 0, bug_id = 0, last_cases = 0;
+      if (!ExtractInt(line, "shard", shard) ||
+          !ExtractInt(line, "worker_run", worker_run) ||
+          !ExtractBool(line, "announced", flight.announced) ||
+          !ExtractInt(line, "bug_id", bug_id) ||
+          !ExtractInt(line, "last_checkpoint_cases", last_cases) ||
+          !ParseFlightEntries(line, flight.entries)) {
+        return InvalidArgument("journal line " + std::to_string(line_no) +
+                               ": malformed crash_flight");
+      }
+      flight.shard = static_cast<int>(shard);
+      flight.worker_run = static_cast<int>(worker_run);
+      flight.bug_id = static_cast<int>(bug_id);
+      flight.last_checkpoint_cases = static_cast<int>(last_cases);
+      replay.crash_flights.push_back(std::move(flight));
     } else if (event == "checkpoint") {
       CampaignCheckpoint cp;
       int64_t every = 0, shard = 0, cases = 0, sql_errors = 0, crashes = 0, fps = 0,
@@ -438,6 +560,70 @@ Result<JournalReplay> ReplayJournalFile(const std::string& path) {
     return InvalidArgument("cannot open journal file '" + path + "'");
   }
   return ReplayJournal(in);
+}
+
+// --- Chrome trace-event export ---------------------------------------------
+
+namespace {
+
+// Microseconds with nanosecond precision: Chrome's ts/dur unit is µs, and
+// three decimals keep the exported numbers exact (ns / 1000, remainder as
+// the fraction), so parent/child nesting survives the unit conversion.
+std::string FormatTraceUs(uint64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  return buf;
+}
+
+std::string FormatSpanId(uint64_t id) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "0x%llx", static_cast<unsigned long long>(id));
+  return buf;
+}
+
+// Timeline process for a span: campaign root on pid 0, shard i on pid i+1 —
+// each (pid, tid 0) lane then holds a properly nested interval tree, which
+// is what tools/check_trace_json.py asserts.
+int TracePid(const trace::TraceSpan& span) {
+  return span.kind == trace::SpanKind::kCampaign ? 0 : span.shard + 1;
+}
+
+void AppendProcessName(std::string& out, int pid, const std::string& name) {
+  out += "{\"ph\":\"M\",\"pid\":" + std::to_string(pid) +
+         ",\"tid\":0,\"ts\":0,\"name\":\"process_name\",\"args\":{\"name\":\"" +
+         EscapeJson(name) + "\"}}";
+}
+
+}  // namespace
+
+Status WriteChromeTraceFile(const std::string& path, const CampaignResult& result) {
+  std::string out = "{\"traceEvents\":[";
+  AppendProcessName(out, 0,
+                    "campaign " + result.tool + "/" + result.dialect);
+  const int shards = std::max(result.shards, 1);
+  for (int shard = 0; shard < shards; ++shard) {
+    out += ',';
+    AppendProcessName(out, shard + 1, "shard " + std::to_string(shard));
+  }
+  for (const trace::TraceSpan& span : result.trace.spans) {
+    out += ",{\"ph\":\"X\",\"pid\":" + std::to_string(TracePid(span)) +
+           ",\"tid\":0,\"ts\":" + FormatTraceUs(span.start_ns) +
+           ",\"dur\":" + FormatTraceUs(span.dur_ns) + ",\"name\":\"" +
+           std::string(trace::SpanKindName(span.kind)) + "\",\"cat\":\"" +
+           std::string(trace::SpanKindName(span.kind)) +
+           "\",\"args\":{\"span_id\":\"" + FormatSpanId(span.id) + "\"";
+    if (span.parent_id != 0) {
+      out += ",\"parent_id\":\"" + FormatSpanId(span.parent_id) + "\"";
+    }
+    for (const auto& [key, value] : span.args) {
+      out += ",\"" + EscapeJson(key) + "\":\"" + EscapeJson(value) + "\"";
+    }
+    out += "}}";
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}\n";
+  return io::WriteFileAtomic(path, out);
 }
 
 }  // namespace telemetry

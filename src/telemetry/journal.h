@@ -15,8 +15,13 @@
 //                    cases_completed it resumed from
 //   shard_merge      one per shard of a sharded run: shard, statements
 //   first_witness    one per unique bug, discovery order: bug_id, pattern,
-//                    statement index, shard, wall_ms (0 when telemetry was
-//                    not recording)
+//                    statement index, shard, wall_ms, recorded (false when
+//                    telemetry was not collecting — a wall_ms of 0 with
+//                    recorded=true is a genuine sub-millisecond hit)
+//   crash_flight     one per worker death in a real-crash campaign: shard,
+//                    worker_run, announced, bug_id, last_checkpoint_cases,
+//                    and the flushed flight-ring entries (the last entry of
+//                    an announced crash is the crashing statement itself)
 //   campaign_finish  totals, coverage, wall_ms
 //
 // ReplayJournal parses the stream back; a replayed journal reconstructs the
@@ -64,6 +69,10 @@ struct JournalWitness {
   int statement_index = 0;
   int shard = 0;
   double wall_ms = 0.0;
+  // False when the producer's telemetry was not collecting (wall_ms is then
+  // meaningless, not "instant"). Journals written before this field existed
+  // replay with the old inference: recorded = (wall_ms != 0).
+  bool recorded = false;
 };
 
 // A parsed journal: campaign metadata plus the witness stream.
@@ -78,6 +87,7 @@ struct JournalReplay {
   std::vector<CampaignCheckpoint> checkpoints;  // journal order
   int resume_markers = 0;                  // campaign_resume events seen
   std::vector<std::string> chaos_specs;    // chaos markers (fault-injected runs)
+  std::vector<trace::CrashFlightRecord> crash_flights;  // journal order
   int statements_executed = 0;
   int watchdog_timeouts = 0;               // absent in pre-watchdog journals
   uint64_t functions_triggered = 0;
@@ -108,6 +118,18 @@ Status WriteCampaignJournalFile(const std::string& path,
                                 const CampaignOptions& options,
                                 const CampaignResult& result, uint64_t wall_ns);
 Result<JournalReplay> ReplayJournalFile(const std::string& path);
+
+// Exports the campaign's span trace (CampaignResult::trace) as Chrome
+// trace-event JSON — loadable in Perfetto / chrome://tracing — written
+// crash-atomically (io::WriteFileAtomic). Timeline layout: the campaign
+// root span lives on pid 0, shard i's spans on pid i+1, all on tid 0;
+// ts/dur are microseconds with nanosecond precision (three decimals).
+// Always available: with tracing off (or compiled out) the file still
+// contains the campaign/shard/worker-run structural spans the runner built,
+// or only process metadata when the trace is empty. Schema details and a
+// loading recipe: docs/OBSERVABILITY.md. Validated by
+// tools/check_trace_json.py.
+Status WriteChromeTraceFile(const std::string& path, const CampaignResult& result);
 
 }  // namespace telemetry
 }  // namespace soft

@@ -37,6 +37,7 @@
 #include <string_view>
 
 #include "src/fault/fault.h"
+#include "src/telemetry/trace.h"
 
 namespace soft {
 namespace telemetry {
@@ -270,15 +271,23 @@ inline std::map<std::string, LatencyHistogram> NamedLatencySnapshot() { return {
 #endif  // SOFT_TELEMETRY_ENABLED
 
 // RAII stage timer used by the engine pipeline. The clock is read only when
-// a collector is installed, so the disabled/idle cost is one thread-local
-// pointer check per stage.
+// a collector is installed or a sampled statement span is open, so the
+// disabled/idle cost is a couple of thread-local pointer checks per stage.
+// Also the flight recorder's stage marker: entering a stage advances the
+// in-flight statement's deepest-stage-reached note (src/telemetry/trace.h).
 class ScopedStageTimer {
  public:
   explicit ScopedStageTimer(Stage stage)
-      : stage_(stage), start_ns_(CollectorInstalled() ? MonotonicNowNs() : 0) {}
+      : stage_(stage),
+        start_ns_(CollectorInstalled() || trace::StatementOpen() ? MonotonicNowNs()
+                                                                 : 0) {
+    trace::FlightNoteStage(stage);
+  }
   ~ScopedStageTimer() {
     if (start_ns_ != 0) {
-      RecordStageLatency(stage_, MonotonicNowNs() - start_ns_);
+      const uint64_t dur_ns = MonotonicNowNs() - start_ns_;
+      RecordStageLatency(stage_, dur_ns);
+      trace::RecordStageSpan(stage_, start_ns_, dur_ns);
     }
   }
   ScopedStageTimer(const ScopedStageTimer&) = delete;

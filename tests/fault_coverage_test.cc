@@ -2,6 +2,10 @@
 // attribution, parse/optimize-stage hooks) and the coverage tracker.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
 #include "src/coverage/coverage.h"
 #include "src/engine/database.h"
 
@@ -202,6 +206,64 @@ TEST(Coverage, MergeAndReset) {
   EXPECT_EQ(a.CoveredBranchCount(), 3u);
   a.Reset();
   EXPECT_EQ(a.CoveredBranchCount(), 0u);
+}
+
+TEST(Coverage, BranchKeysRoundTripThroughRestore) {
+  // The worker pipe protocol serializes a child's tracker as raw branch keys
+  // and rebuilds it in the supervisor (src/soft/worker.cc): key export must
+  // be lossless, including function names containing '#'-adjacent characters
+  // and multi-digit branch ids.
+  CoverageTracker original;
+  original.Hit("SUBSTR", 0);
+  original.Hit("SUBSTR", 12);
+  original.Hit("JSON_EXTRACT", 3);
+  original.Hit("ST_AsText", 101);
+
+  const std::vector<std::string> keys = original.BranchKeys();
+  EXPECT_EQ(keys.size(), original.CoveredBranchCount());
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+
+  CoverageTracker rebuilt;
+  for (const std::string& key : keys) {
+    rebuilt.RestoreBranchKey(key);
+  }
+  EXPECT_EQ(rebuilt.BranchKeys(), keys);
+  EXPECT_EQ(rebuilt.CoveredBranchCount(), original.CoveredBranchCount());
+  EXPECT_EQ(rebuilt.TriggeredFunctionCount(), original.TriggeredFunctionCount());
+  EXPECT_EQ(rebuilt.TriggeredFunctions(), original.TriggeredFunctions());
+  EXPECT_EQ(rebuilt.BranchCountsByFunction(), original.BranchCountsByFunction());
+}
+
+TEST(Coverage, MergeFromIsOrderIndependent) {
+  // The parallel runner unions shard trackers in index order; the result
+  // must be the same set union regardless of merge order or duplicates.
+  CoverageTracker a;
+  a.Hit("F", 1);
+  a.Hit("F", 2);
+  a.Hit("G", 1);
+  CoverageTracker b;
+  b.Hit("F", 2);  // overlaps a
+  b.Hit("H", 7);
+  CoverageTracker c;
+  c.Hit("G", 1);  // overlaps a
+  c.Hit("H", 8);
+
+  CoverageTracker ab_c;
+  ab_c.MergeFrom(a);
+  ab_c.MergeFrom(b);
+  ab_c.MergeFrom(c);
+  CoverageTracker c_ba;
+  c_ba.MergeFrom(c);
+  c_ba.MergeFrom(b);
+  c_ba.MergeFrom(a);
+
+  EXPECT_EQ(ab_c.BranchKeys(), c_ba.BranchKeys());
+  // Distinct union: F#1, F#2, G#1, H#7, H#8 across F, G, H.
+  EXPECT_EQ(ab_c.CoveredBranchCount(), 5u);
+  EXPECT_EQ(ab_c.TriggeredFunctionCount(), 3u);
+  // Merging already-seen content is idempotent.
+  ab_c.MergeFrom(a);
+  EXPECT_EQ(ab_c.CoveredBranchCount(), 5u);
 }
 
 TEST(Coverage, BoundaryArgumentsReachDeeperBranches) {

@@ -282,6 +282,59 @@ TEST(TelemetryJournalTest, ReplayReconstructsExactBugSet) {
   EXPECT_EQ(replayed->BugIds(), expected_ids);
 }
 
+// wall_ms alone is ambiguous: 0 can mean "telemetry was off" or "sub-
+// millisecond hit". The recorded flag disambiguates and must survive the
+// round trip for both values.
+TEST(TelemetryJournalTest, WitnessRecordedFlagRoundTrips) {
+  CampaignResult result;
+  result.tool = "SOFT";
+  result.dialect = "duckdb";
+  result.statements_executed = 10;
+  result.shards = 1;
+  result.shard_statements = {10};
+
+  FoundBug instant;  // genuine sub-millisecond witness: wall 0 but recorded
+  instant.crash.bug_id = 1;
+  instant.found_by = "P1.1";
+  instant.statements_until_found = 3;
+  instant.found_wall_ns = 0;
+  instant.wall_recorded = true;
+  FoundBug dark;  // telemetry off: wall 0 and NOT recorded
+  dark.crash.bug_id = 2;
+  dark.found_by = "P2.1";
+  dark.statements_until_found = 7;
+  dark.found_wall_ns = 0;
+  dark.wall_recorded = false;
+  result.unique_bugs = {instant, dark};
+
+  std::stringstream stream;
+  telemetry::WriteCampaignJournal(stream, CampaignOptions(), result, 0);
+  const Result<telemetry::JournalReplay> replayed = telemetry::ReplayJournal(stream);
+  ASSERT_TRUE(replayed.ok()) << replayed.status().message();
+  ASSERT_EQ(replayed->witnesses.size(), 2u);
+  EXPECT_DOUBLE_EQ(replayed->witnesses[0].wall_ms, 0.0);
+  EXPECT_TRUE(replayed->witnesses[0].recorded);
+  EXPECT_DOUBLE_EQ(replayed->witnesses[1].wall_ms, 0.0);
+  EXPECT_FALSE(replayed->witnesses[1].recorded);
+}
+
+// Journals written before the recorded flag existed replay with the old
+// inference: nonzero wall_ms means recorded.
+TEST(TelemetryJournalTest, LegacyWitnessLinesInferRecordedFromWallMs) {
+  std::stringstream legacy(
+      "{\"event\":\"campaign_start\",\"tool\":\"SOFT\",\"dialect\":\"duckdb\","
+      "\"seed\":1,\"budget\":10,\"shards\":1}\n"
+      "{\"event\":\"first_witness\",\"bug_id\":1,\"pattern\":\"P1.1\","
+      "\"statement_index\":3,\"shard\":0,\"wall_ms\":1.500}\n"
+      "{\"event\":\"first_witness\",\"bug_id\":2,\"pattern\":\"P2.1\","
+      "\"statement_index\":7,\"shard\":0,\"wall_ms\":0.000}\n");
+  const Result<telemetry::JournalReplay> replayed = telemetry::ReplayJournal(legacy);
+  ASSERT_TRUE(replayed.ok()) << replayed.status().message();
+  ASSERT_EQ(replayed->witnesses.size(), 2u);
+  EXPECT_TRUE(replayed->witnesses[0].recorded);
+  EXPECT_FALSE(replayed->witnesses[1].recorded);
+}
+
 TEST(TelemetryJournalTest, ReplayRejectsMalformedStreams) {
   {
     std::stringstream empty;

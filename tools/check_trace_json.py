@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Trace lint: validate a Chrome trace-event JSON file written by
+soft::telemetry::WriteChromeTraceFile (the find_bugs/bench --trace flag).
+
+Checks, in order:
+  1. the file parses as JSON and has a "traceEvents" array;
+  2. every event carries the required keys ("ph"/"pid"/"tid", plus
+     "ts"/"dur"/"name"/"args" on X complete events) with sane types;
+  3. every X event's args.span_id is present and unique across the file;
+  4. every args.parent_id refers to an existing span_id (referential
+     integrity of the causal tree);
+  5. every child span's [ts, ts+dur] interval nests inside its parent's,
+     within a small epsilon for microsecond rounding.
+
+Usage: check_trace_json.py <trace.json> [--min-spans=N]
+Exit code 0 when the trace validates, 1 otherwise (one line per violation).
+--min-spans additionally fails traces with fewer than N spans — CI uses it
+to prove a campaign actually recorded statement spans, not just structure.
+"""
+import json
+import sys
+
+# Microsecond timestamps carry three decimals (exact nanoseconds), but a
+# parent's start is formatted independently of its children's: allow one
+# nanosecond of rounding slack on each edge.
+EPSILON_US = 0.001
+
+REQUIRED_ALL = ("ph", "pid", "tid")
+REQUIRED_X = ("ts", "dur", "name", "cat", "args")
+
+
+def fail(errors, message):
+    print(f"check_trace_json: {message}")
+    errors.append(message)
+
+
+def validate(path, min_spans):
+    errors = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        fail(errors, f"cannot parse {path}: {exc}")
+        return errors, 0
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail(errors, '"traceEvents" missing or not an array')
+        return errors, 0
+
+    spans = {}  # span_id -> (index, ts, dur, parent_id or None)
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            fail(errors, f"event #{i} is not an object")
+            continue
+        for key in REQUIRED_ALL:
+            if key not in event:
+                fail(errors, f"event #{i} missing required key '{key}'")
+        ph = event.get("ph")
+        if ph == "M":
+            continue  # process_name metadata
+        if ph != "X":
+            fail(errors, f"event #{i} has unexpected ph '{ph}' (want M or X)")
+            continue
+        for key in REQUIRED_X:
+            if key not in event:
+                fail(errors, f"X event #{i} missing required key '{key}'")
+        ts, dur = event.get("ts"), event.get("dur")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            fail(errors, f"X event #{i} has non-numeric or negative ts {ts!r}")
+            continue
+        if not isinstance(dur, (int, float)) or dur < 0:
+            fail(errors, f"X event #{i} has non-numeric or negative dur {dur!r}")
+            continue
+        args = event.get("args")
+        if not isinstance(args, dict) or "span_id" not in args:
+            fail(errors, f"X event #{i} has no args.span_id")
+            continue
+        span_id = args["span_id"]
+        if span_id in spans:
+            fail(errors, f"X event #{i} reuses span_id {span_id} "
+                         f"(first seen at event #{spans[span_id][0]})")
+            continue
+        spans[span_id] = (i, float(ts), float(dur), args.get("parent_id"))
+
+    for span_id, (i, ts, dur, parent_id) in spans.items():
+        if parent_id is None:
+            continue
+        if parent_id not in spans:
+            fail(errors, f"X event #{i} parent_id {parent_id} matches no span")
+            continue
+        _, pts, pdur, _ = spans[parent_id]
+        if ts < pts - EPSILON_US or ts + dur > pts + pdur + EPSILON_US:
+            fail(errors,
+                 f"X event #{i} span {span_id} [{ts:.3f}, {ts + dur:.3f}] "
+                 f"escapes parent {parent_id} [{pts:.3f}, {pts + pdur:.3f}]")
+
+    if len(spans) < min_spans:
+        fail(errors, f"trace has {len(spans)} spans, need >= {min_spans}")
+    return errors, len(spans)
+
+
+def main():
+    args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    min_spans = 0
+    for a in sys.argv[1:]:
+        if a.startswith("--min-spans="):
+            min_spans = int(a.split("=", 1)[1])
+        elif a.startswith("--"):
+            print(f"unknown flag {a}")
+            return 1
+    if len(args) != 1:
+        print(__doc__)
+        return 1
+    errors, span_count = validate(args[0], min_spans)
+    print(f"checked {args[0]}: {span_count} spans, {len(errors)} violations")
+    return 0 if not errors else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
