@@ -34,6 +34,12 @@
 //                             (docs/OBSERVABILITY.md, tools/check_trace_json.py)
 //   --trace-sample=<n>        trace every nth statement (default 1 when
 //                             --trace is given: every statement)
+//   --oracle=<names>          run the wrong-result (logic-bug) oracles:
+//                             comma list of eet, diff, norec, tlp, or 'all'.
+//                             Arms the seeded wrong-result corpus, checks
+//                             every successful SELECT, and reports logic
+//                             bugs + a shard-invariant `logic digest`.
+//                             Requires --crash-mode=sim (the default).
 //
 // Exit codes: 0 success, 1 bad usage / hard failure, 2 chaos oracle failed,
 // 3 campaign finished but its telemetry journal degraded mid-run.
@@ -48,6 +54,7 @@
 #include "src/dialects/dialects.h"
 #include "src/failpoint/failpoint.h"
 #include "src/soft/chaos.h"
+#include "src/soft/logic_oracle.h"
 #include "src/soft/resume.h"
 #include "src/soft/soft_fuzzer.h"
 #include "src/telemetry/journal.h"
@@ -61,7 +68,8 @@ void PrintUsage(const char* argv0) {
                "          [--checkpoint-every=<n>] [--timeout-ms=<n>]\n"
                "          [--crash-mode=sim|real] [--resume=<journal>]\n"
                "          [--chaos=<spec>|list|enumerate] [--shards=<k>]\n"
-               "          [--trace=<path>] [--trace-sample=<n>]\n",
+               "          [--trace=<path>] [--trace-sample=<n>]\n"
+               "          [--oracle=eet|diff|norec|tlp|all[,...]]\n",
                argv0);
 }
 
@@ -106,6 +114,23 @@ bool ParseIntFlag(const char* arg, const char* name, int* out) {
   return true;
 }
 
+// Splits a comma-separated --oracle= value; empty items are rejected by the
+// IsKnownLogicOracle check in main (an empty token is never a known oracle).
+std::vector<std::string> SplitCommaList(const std::string& value) {
+  std::vector<std::string> items;
+  size_t start = 0;
+  while (start <= value.size()) {
+    const size_t comma = value.find(',', start);
+    if (comma == std::string::npos) {
+      items.push_back(value.substr(start));
+      break;
+    }
+    items.push_back(value.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return items;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -114,6 +139,7 @@ int main(int argc, char** argv) {
   std::string chaos_spec;
   std::string trace_path;
   std::string crash_mode = "sim";
+  std::string oracle_value;
   int timeout_ms = 0;
   int checkpoint_every = -1;  // -1: default (1000 with a journal, else 0)
   int trace_sample = 0;       // 0: default (1 when --trace is given, else off)
@@ -130,6 +156,8 @@ int main(int argc, char** argv) {
       trace_path = argv[i] + 8;
     } else if (std::strncmp(argv[i], "--crash-mode=", 13) == 0) {
       crash_mode = argv[i] + 13;
+    } else if (std::strncmp(argv[i], "--oracle=", 9) == 0) {
+      oracle_value = argv[i] + 9;
     } else if (ParseIntFlag(argv[i], "--timeout-ms=", &timeout_ms) ||
                ParseIntFlag(argv[i], "--checkpoint-every=", &checkpoint_every) ||
                ParseIntFlag(argv[i], "--trace-sample=", &trace_sample) ||
@@ -169,6 +197,29 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--resume replays a single-shard campaign; drop --shards\n");
     return 1;
   }
+  std::vector<std::string> oracle_names;
+  if (!oracle_value.empty()) {
+    oracle_names = SplitCommaList(oracle_value);
+    for (const std::string& name : oracle_names) {
+      if (!soft::IsKnownLogicOracle(name)) {
+        std::fprintf(stderr,
+                     "--oracle: unknown oracle '%s' (options: eet, diff, "
+                     "norec, tlp, all)\n",
+                     name.c_str());
+        return 1;
+      }
+    }
+    if (crash_mode == "real") {
+      std::fprintf(stderr,
+                   "--oracle needs simulated crash realization; drop "
+                   "--crash-mode=real\n");
+      return 1;
+    }
+    if (!resume_path.empty()) {
+      std::fprintf(stderr, "--oracle cannot be combined with --resume\n");
+      return 1;
+    }
+  }
   if (!resume_path.empty() && !positional.empty()) {
     std::fprintf(stderr,
                  "--resume takes dialect/budget/seed from the journal; drop the "
@@ -195,7 +246,11 @@ int main(int argc, char** argv) {
   }
 
   soft::CampaignOptions options;
-  options.stop_when_all_bugs_found = true;
+  // Logic campaigns keep running after the crash-bug corpus is exhausted:
+  // the wrong-result seeds are found by oracle checks, not crash dedup, and
+  // the metamorphic sweep over clean statements is the point of the run.
+  options.stop_when_all_bugs_found = oracle_names.empty();
+  options.logic_oracles = oracle_names;
   options.crash_realism = crash_mode == "real" ? soft::CrashRealism::kReal
                                                : soft::CrashRealism::kSimulated;
   options.statement_limits.deadline_ms = timeout_ms;
@@ -319,6 +374,13 @@ int main(int argc, char** argv) {
     if (timeout_ms > 0) {
       std::printf("  [watchdog %d ms]", timeout_ms);
     }
+    if (!oracle_names.empty()) {
+      std::printf("  [oracles:");
+      for (const std::string& name : oracle_names) {
+        std::printf(" %s", name.c_str());
+      }
+      std::printf("]");
+    }
     std::printf("\n\n");
     db.reset();  // the campaign builds its own instance
 
@@ -369,11 +431,38 @@ int main(int argc, char** argv) {
     std::printf("%s:%d  ", crash.c_str(), count);
   }
   std::printf("\n");
+
+  if (!oracle_names.empty()) {
+    std::printf("\n--- wrong-result oracles: %zu logic bugs "
+                "(expected for this dialect: %d) ---\n",
+                result.logic_bugs.size(), soft::ExpectedLogicBugCount(dialect));
+    std::printf("%d oracle checks, %d divergences, %d false positives\n",
+                result.logic_checks, result.logic_divergences,
+                result.logic_false_positives);
+    for (const soft::FoundLogicBug& bug : result.logic_bugs) {
+      std::printf("\nLBUG-%s-%d  [%s/%s] in %s\n", dialect.c_str(),
+                  bug.info.bug_id, soft::LogicEffectName(bug.info.effect).data(),
+                  soft::LogicScopeName(bug.info.scope).data(),
+                  bug.info.function.c_str());
+      std::printf("  flagged by the %s oracle after %d statements (case %d)\n",
+                  bug.oracle.c_str(), bug.statements_until_found, bug.case_index);
+      std::printf("  PoC: %s\n", bug.poc_sql.c_str());
+      std::printf("  witness: %s — %s\n", bug.witness.c_str(), bug.detail.c_str());
+    }
+    std::printf("\n");
+  }
+
   // Stable digest over the result's deterministic fields — CI compares this
   // line across traced/untraced and sim/real runs to prove observability
   // never perturbs outcomes.
   std::printf("outcome digest: 0x%016llx\n",
               static_cast<unsigned long long>(soft::DigestCampaignResult(result)));
+  if (!oracle_names.empty()) {
+    // Shard-invariant digest over the logic outcome alone — CI compares this
+    // line between the serial and --shards=k forms of the same campaign.
+    std::printf("logic digest: 0x%016llx\n",
+                static_cast<unsigned long long>(soft::DigestLogicOutcome(result)));
+  }
 
   if (!trace_path.empty()) {
     const soft::Status wrote = soft::telemetry::WriteChromeTraceFile(trace_path, result);

@@ -10,6 +10,15 @@
 // parse→optimize→execute→fault pipeline without a fuzzing run. Rerun this
 // tool (./build/examples/gen_golden_pocs [output-dir]) only when the fault
 // corpus or the generator intentionally changes, and review the diff.
+//
+// Also regenerates the wrong-result corpus (tests/golden/logic/
+// logic_*.txt): one reference logic campaign per dialect with every oracle
+// armed, writing one line per seeded LogicBugSpec, sorted by bug id:
+//
+//   <bug id>\t<flagging oracle>\t<PoC SQL>
+//
+// tests/golden_logic_poc_test.cc replays these against a fresh instance and
+// asserts each seeded wrong-result bug is still caught — by the same oracle.
 #include <algorithm>
 #include <cstdio>
 #include <sstream>
@@ -77,5 +86,60 @@ int main(int argc, char** argv) {
                 path.c_str());
   }
   std::printf("total: %d PoCs\n", total);
+
+  // Wrong-result corpus: the logic-seed PoC cases lead the campaign's case
+  // list, so a small budget deterministically covers every seeded spec.
+  int logic_total = 0;
+  for (const std::string& dialect : soft::AllDialectNames()) {
+    auto db = soft::MakeDialect(dialect);
+    soft::SoftFuzzer fuzzer;
+    soft::CampaignOptions options;
+    options.seed = 1;
+    options.max_statements = 500;
+    options.stop_when_all_bugs_found = false;
+    options.logic_oracles = {"all"};
+    soft::CampaignResult result = fuzzer.Run(*db, options);
+
+    const int expected = soft::ExpectedLogicBugCount(dialect);
+    if (static_cast<int>(result.logic_bugs.size()) != expected) {
+      std::fprintf(stderr,
+                   "%s: reference logic campaign found %zu bugs, expected %d\n",
+                   dialect.c_str(), result.logic_bugs.size(), expected);
+      ok = false;
+    }
+    std::sort(result.logic_bugs.begin(), result.logic_bugs.end(),
+              [](const soft::FoundLogicBug& a, const soft::FoundLogicBug& b) {
+                return a.info.bug_id < b.info.bug_id;
+              });
+
+    std::ostringstream out;
+    out << "# Golden wrong-result corpus for " << dialect
+        << " — regenerate with examples/gen_golden_pocs.\n"
+        << "# Reference logic campaign: seed 1, --oracle=all. One line per "
+           "seeded logic bug:\n"
+        << "# <bug id>\\t<flagging oracle>\\t<PoC SQL>\n";
+    for (const soft::FoundLogicBug& bug : result.logic_bugs) {
+      if (bug.poc_sql.find('\t') != std::string::npos ||
+          bug.poc_sql.find('\n') != std::string::npos) {
+        std::fprintf(stderr, "%s: logic PoC for bug %d contains a tab/newline\n",
+                     dialect.c_str(), bug.info.bug_id);
+        ok = false;
+        continue;
+      }
+      out << bug.info.bug_id << '\t' << bug.oracle << '\t' << bug.poc_sql << '\n';
+      ++logic_total;
+    }
+
+    const std::string path = out_dir + "/logic/logic_" + dialect + ".txt";
+    if (const soft::Status written = soft::io::WriteFileAtomic(path, out.str());
+        !written.ok()) {
+      std::fprintf(stderr, "cannot write %s: %s\n", path.c_str(),
+                   written.message().c_str());
+      return 1;
+    }
+    std::printf("%-12s %3zu logic PoCs -> %s\n", dialect.c_str(),
+                result.logic_bugs.size(), path.c_str());
+  }
+  std::printf("total: %d logic PoCs\n", logic_total);
   return ok ? 0 : 1;
 }

@@ -110,6 +110,29 @@ std::unique_ptr<Database> MakeClickhouseDialect() {
             .threshold = 500000,
             .description = "CONCAT's SIMD copy reads past the source chunk for "
                            "500 KB operands built by nested REPEATs"});
+
+  // Seeded wrong-result corpus (inert until logic faults are enabled):
+  // ground truth for the EET / differential logic oracles.
+  LogicBugAdder logic(*db, "clickhouse");
+  logic.Add({.function = "REVERSE",
+             .function_type = "string",
+             .effect = LogicEffect::kTruncate,
+             .scope = LogicScope::kConstArgs,
+             .pattern = "L1.1",
+             .description = "constant arguments send REVERSE through a block copy that "
+                            "drops the tail half"});
+  logic.Add({.function = "LENGTH",
+             .function_type = "string",
+             .effect = LogicEffect::kOffByOne,
+             .scope = LogicScope::kTopLevelCall,
+             .pattern = "L2.1",
+             .description = "top-level LENGTH counts the terminator byte"});
+  logic.Add({.function = "FLOOR",
+             .function_type = "math",
+             .effect = LogicEffect::kZeroOut,
+             .scope = LogicScope::kWherePredicate,
+             .pattern = "L3.1",
+             .description = "FLOOR inside a WHERE predicate collapses to zero"});
   return db;
 }
 

@@ -39,6 +39,24 @@ class BugAdder {
   int next_id_ = 1;
 };
 
+// Sequential-id inserter for a dialect's seeded wrong-result corpus. Logic
+// bugs number from 501 so ids never collide with the Table 4 crash specs.
+class LogicBugAdder {
+ public:
+  LogicBugAdder(Database& db, std::string dbms) : db_(db), dbms_(std::move(dbms)) {}
+
+  void Add(LogicBugSpec spec) {
+    spec.id = next_id_++;
+    spec.dbms = dbms_;
+    db_.faults().AddLogicBug(std::move(spec));
+  }
+
+ private:
+  Database& db_;
+  std::string dbms_;
+  int next_id_ = 501;
+};
+
 }  // namespace soft
 
 #endif  // SRC_DIALECTS_DIALECT_COMMON_H_

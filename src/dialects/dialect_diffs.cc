@@ -1,0 +1,86 @@
+#include "src/dialects/dialect_diffs.h"
+
+#include <algorithm>
+
+#include "src/sqlparser/parser.h"
+
+namespace soft {
+
+const std::vector<std::string>& VolatileFunctions() {
+  static const std::vector<std::string>* const kVolatile = new std::vector<std::string>{
+      "NEXTVAL", "LASTVAL", "SETVAL", "LAST_INSERT_ID",
+  };
+  return *kVolatile;
+}
+
+bool SqlReferencesFunction(const std::string& sql, const std::vector<std::string>& names) {
+  Result<Statement> parsed = ParseStatement(sql);
+  if (!parsed.ok()) {
+    return false;
+  }
+  Statement stmt = std::move(parsed).value();
+  SelectStmt* sel = stmt.mutable_select();
+  if (sel == nullptr) {
+    return false;
+  }
+  std::vector<Expr*> calls;
+  sel->CollectFunctionCalls(calls);
+  for (const Expr* call : calls) {
+    if (std::find(names.begin(), names.end(), call->func_name) != names.end()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool OracleComparable(const std::string& sql) {
+  Result<Statement> parsed = ParseStatement(sql);
+  if (!parsed.ok() || !parsed->is_select()) {
+    return false;
+  }
+  return !SqlReferencesFunction(sql, VolatileFunctions());
+}
+
+std::string CanonicalResultKey(const StatementResult& r) {
+  std::string key = std::to_string(r.rows.size());
+  key += "x";
+  key += std::to_string(r.columns.size());
+  for (const ValueList& row : r.rows) {
+    key += "\n";
+    for (const Value& v : row) {
+      key += TypeKindName(v.kind());
+      key += ":";
+      key += v.ToDisplayString();
+      key += "|";
+    }
+  }
+  return key;
+}
+
+std::string_view DialectDiffClassName(DialectDiffClass c) {
+  switch (c) {
+    case DialectDiffClass::kIdentical:
+      return "identical";
+    case DialectDiffClass::kDeclaredDifference:
+      return "declared_difference";
+    case DialectDiffClass::kDivergence:
+      return "divergence";
+  }
+  return "?";
+}
+
+DialectDiffClass ClassifyDifferential(const StatementResult& main,
+                                      const StatementResult& sibling) {
+  // Any non-OK outcome on either side is a declared axis: the sibling may
+  // lack the function (catalog pruning), reject a coercion (strictness), or
+  // hit its own injected crash corpus. Error/crash DETAILS are per-dialect
+  // by design, so two failures are never compared further.
+  if (!main.ok() || !sibling.ok()) {
+    return DialectDiffClass::kDeclaredDifference;
+  }
+  return CanonicalResultKey(main) == CanonicalResultKey(sibling)
+             ? DialectDiffClass::kIdentical
+             : DialectDiffClass::kDivergence;
+}
+
+}  // namespace soft

@@ -1,0 +1,58 @@
+// Declared per-dialect difference table for the cross-dialect differential
+// oracle (docs/DESIGN.md, "Logic-bug oracles").
+//
+// All seven dialects share one engine, so the same successful SELECT must
+// produce the same rows everywhere — *except* along declared axes: catalog
+// pruning (a sibling lacks the function and errors), cast strictness
+// (strict dialects reject what lenient ones coerce), each dialect's own
+// injected crash corpus, and functions whose value depends on mutable
+// session state. Anything outside those axes that still diverges is a
+// wrong-result logic bug.
+#ifndef SRC_DIALECTS_DIALECT_DIFFS_H_
+#define SRC_DIALECTS_DIALECT_DIFFS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/engine/database.h"
+
+namespace soft {
+
+// Functions whose result depends on mutable session state (sequences,
+// LAST_INSERT_ID). Statements referencing one are excluded from every
+// result-set oracle: re-executing or rewriting them legitimately changes
+// the answer, so a divergence proves nothing.
+const std::vector<std::string>& VolatileFunctions();
+
+// True when `sql` parses to a SELECT that references any of `names`.
+bool SqlReferencesFunction(const std::string& sql, const std::vector<std::string>& names);
+
+// True when `sql` is a SELECT whose result sets are comparable across
+// re-executions and equivalent rewrites on the SAME dialect: it parses, is a
+// SELECT, and references no volatile function.
+bool OracleComparable(const std::string& sql);
+
+// Canonical rendering of a result set for oracle comparison: row/column
+// counts plus each value's type and display text, in row order. Column
+// HEADERS are deliberately excluded — they render the statement text, which
+// equivalent rewrites intentionally change.
+std::string CanonicalResultKey(const StatementResult& r);
+
+// Differential classification of one statement's outcome on the campaign
+// dialect vs a sibling dialect.
+enum class DialectDiffClass {
+  kIdentical,           // both OK with identical canonical result keys
+  kDeclaredDifference,  // outcome differs along a declared axis (either side
+                        // errored or crashed: catalog pruning, cast
+                        // strictness, or the sibling's own crash corpus)
+  kDivergence,          // both OK, different rows — a logic bug on one side
+};
+
+std::string_view DialectDiffClassName(DialectDiffClass c);
+
+DialectDiffClass ClassifyDifferential(const StatementResult& main,
+                                      const StatementResult& sibling);
+
+}  // namespace soft
+
+#endif  // SRC_DIALECTS_DIALECT_DIFFS_H_

@@ -58,4 +58,13 @@ int ExpectedBugCount(const std::string& dialect) {
   return 0;
 }
 
+int ExpectedLogicBugCount(const std::string& dialect) {
+  for (const std::string& name : AllDialectNames()) {
+    if (dialect == name) {
+      return 3;
+    }
+  }
+  return 0;
+}
+
 }  // namespace soft

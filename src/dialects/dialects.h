@@ -40,6 +40,20 @@ int ExpectedBugCount(const std::string& dialect);
 // Used by the bug-oracle tests, the Table 4 bench, and the bug reporter.
 Result<std::string> BuildPocSql(const Database& db, const BugSpec& spec);
 
+// Size of the seeded wrong-result corpus per dialect (3 LogicBugSpecs each;
+// ids start at 501).
+int ExpectedLogicBugCount(const std::string& dialect);
+
+// Statements that set up the table the WHERE-scope logic PoCs query. Logic
+// campaigns run these before arming logic faults, and differential siblings
+// replay them so every engine sees the same catalog.
+const std::vector<std::string>& LogicOraclePrerequisites();
+
+// Builds a SELECT that reaches `spec`'s scope on `db`: the host function's
+// registry example for argument/call scopes, a COUNT over the prerequisite
+// table for WHERE-predicate scopes.
+Result<std::string> BuildLogicPocSql(const Database& db, const LogicBugSpec& spec);
+
 }  // namespace soft
 
 #endif  // SRC_DIALECTS_DIALECTS_H_

@@ -200,6 +200,30 @@ std::unique_ptr<Database> MakeDuckdbDialect() {
             .param_type = TypeKind::kBlob,
             .description = "TYPEOF asserts its logical-type switch is exhaustive; "
                            "cast-produced BLOB hits the default branch"});
+
+  // Seeded wrong-result corpus (inert until logic faults are enabled):
+  // ground truth for the EET / differential logic oracles.
+  LogicBugAdder logic(*db, "duckdb");
+  logic.Add({.function = "LENGTH",
+             .function_type = "string",
+             .effect = LogicEffect::kOffByOne,
+             .scope = LogicScope::kConstArgs,
+             .pattern = "L1.1",
+             .description = "constant string literals reach LENGTH with the quote byte "
+                            "still counted"});
+  logic.Add({.function = "UPPER",
+             .function_type = "string",
+             .effect = LogicEffect::kTruncate,
+             .scope = LogicScope::kTopLevelCall,
+             .pattern = "L2.1",
+             .description = "top-level UPPER emits only the first half of the converted "
+                            "buffer"});
+  logic.Add({.function = "SIGN",
+             .function_type = "math",
+             .effect = LogicEffect::kNullOut,
+             .scope = LogicScope::kWherePredicate,
+             .pattern = "L3.1",
+             .description = "SIGN inside a WHERE predicate degrades to NULL"});
   return db;
 }
 

@@ -230,6 +230,31 @@ std::unique_ptr<Database> MakeMariadbDialect() {
             .param_type = TypeKind::kGeometry,
             .description = "REVERSE swaps bytes of the geometry header instead of a "
                            "string payload"});
+
+  // Seeded wrong-result corpus (inert until logic faults are enabled):
+  // ground truth for the EET / differential logic oracles.
+  LogicBugAdder logic(*db, "mariadb");
+  logic.Add({.function = "LOWER",
+             .function_type = "string",
+             .effect = LogicEffect::kOffByOne,
+             .scope = LogicScope::kConstArgs,
+             .pattern = "L1.1",
+             .description = "constant-folded LOWER appends a stray byte from an "
+                            "off-by-one copy"});
+  logic.Add({.function = "SQRT",
+             .function_type = "math",
+             .effect = LogicEffect::kZeroOut,
+             .scope = LogicScope::kTopLevelCall,
+             .pattern = "L2.1",
+             .description = "top-level SQRT zeroes its result when no enclosing call "
+                            "consumes it"});
+  logic.Add({.function = "SIGN",
+             .function_type = "math",
+             .effect = LogicEffect::kNegate,
+             .scope = LogicScope::kWherePredicate,
+             .pattern = "L3.1",
+             .description = "SIGN evaluated inside a WHERE predicate returns the "
+                            "negated sign"});
   return db;
 }
 

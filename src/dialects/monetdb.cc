@@ -206,6 +206,30 @@ std::unique_ptr<Database> MakeMonetdbDialect() {
             .param_type = TypeKind::kDecimal,
             .description = "TYPEOF derives the display scale of exact decimals by "
                            "dividing by their zero-initialized precision"});
+
+  // Seeded wrong-result corpus (inert until logic faults are enabled):
+  // ground truth for the EET / differential logic oracles.
+  LogicBugAdder logic(*db, "monetdb");
+  logic.Add({.function = "UPPER",
+             .function_type = "string",
+             .effect = LogicEffect::kNullOut,
+             .scope = LogicScope::kConstArgs,
+             .pattern = "L1.1",
+             .description = "constant-folded UPPER misses its result slot and yields "
+                            "NULL"});
+  logic.Add({.function = "ABS",
+             .function_type = "math",
+             .effect = LogicEffect::kNegate,
+             .scope = LogicScope::kTopLevelCall,
+             .pattern = "L2.1",
+             .description = "top-level ABS returns the negated magnitude"});
+  logic.Add({.function = "CEIL",
+             .function_type = "math",
+             .effect = LogicEffect::kZeroOut,
+             .scope = LogicScope::kWherePredicate,
+             .pattern = "L3.1",
+             .description = "CEIL inside a WHERE predicate reads a zeroed candidate "
+                            "register"});
   return db;
 }
 

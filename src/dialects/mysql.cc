@@ -160,6 +160,31 @@ std::unique_ptr<Database> MakeMysqlDialect() {
             .param_type = TypeKind::kJson,
             .description = "UPDATEXML keeps a reference into the temporary string of "
                            "a JSON argument after the wrapper frees it"});
+
+  // Seeded wrong-result corpus (inert until logic faults are enabled):
+  // ground truth for the EET / differential logic oracles.
+  LogicBugAdder logic(*db, "mysql");
+  logic.Add({.function = "UPPER",
+             .function_type = "string",
+             .effect = LogicEffect::kTruncate,
+             .scope = LogicScope::kConstArgs,
+             .pattern = "L1.1",
+             .description = "constant string literals reach UPPER through a half-length "
+                            "fast path"});
+  logic.Add({.function = "CEIL",
+             .function_type = "math",
+             .effect = LogicEffect::kOffByOne,
+             .scope = LogicScope::kTopLevelCall,
+             .pattern = "L2.1",
+             .description = "top-level CEIL rounds one unit too far when its result is "
+                            "projected directly"});
+  logic.Add({.function = "ABS",
+             .function_type = "math",
+             .effect = LogicEffect::kNullOut,
+             .scope = LogicScope::kWherePredicate,
+             .pattern = "L3.1",
+             .description = "ABS inside a WHERE predicate loses its value to a "
+                            "NULL-typed register"});
   return db;
 }
 

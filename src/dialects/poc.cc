@@ -176,4 +176,37 @@ Result<std::string> BuildPocSql(const Database& db, const BugSpec& spec) {
   return "SELECT " + call->ToSql();
 }
 
+const std::vector<std::string>& LogicOraclePrerequisites() {
+  static const std::vector<std::string>* const kPrereqs = new std::vector<std::string>{
+      "CREATE TABLE logic_t (a INT, b STRING, c DOUBLE)",
+      "INSERT INTO logic_t VALUES (1, 'alpha', 1.5), (2, 'beta', 2.5), "
+      "(3, 'gamma', 3.5)",
+  };
+  return *kPrereqs;
+}
+
+Result<std::string> BuildLogicPocSql(const Database& db, const LogicBugSpec& spec) {
+  if (db.registry().Find(spec.function) == nullptr) {
+    return NotFound("logic bug host function " + spec.function +
+                    " is not in this dialect");
+  }
+  // WHERE-scope bugs need the function inside a predicate over real rows;
+  // every prerequisite row satisfies FN(a) >= 1 on a clean engine, so any
+  // seeded perturbation moves the COUNT.
+  if (spec.scope == LogicScope::kWherePredicate) {
+    return "SELECT COUNT(*) FROM logic_t WHERE " + spec.function + "(a) >= 1";
+  }
+  // Argument/call scopes reuse the crash-PoC splicer: the registry example is
+  // a top-level call with constant arguments, which is exactly the shape both
+  // kConstArgs and kTopLevelCall key on.
+  BugSpec shape;
+  shape.function = spec.function;
+  shape.trigger = spec.trigger;
+  shape.arg_index = spec.arg_index;
+  shape.threshold = spec.threshold;
+  shape.param_type = spec.param_type;
+  shape.param_text = spec.param_text;
+  return BuildPocSql(db, shape);
+}
+
 }  // namespace soft

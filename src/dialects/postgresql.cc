@@ -36,6 +36,31 @@ std::unique_ptr<Database> MakePostgresqlDialect() {
             .description = "unknown-type literal arguments under DISTINCT are read as "
                            "'\\0'-terminated strings, disclosing adjacent heap memory "
                            "(CVE-2023-5868 analogue)"});
+
+  // Seeded wrong-result corpus (inert until logic faults are enabled):
+  // ground truth for the EET / differential logic oracles.
+  LogicBugAdder logic(*db, "postgresql");
+  logic.Add({.function = "SIGN",
+             .function_type = "math",
+             .effect = LogicEffect::kOffByOne,
+             .scope = LogicScope::kConstArgs,
+             .pattern = "L1.1",
+             .description = "constant-folded SIGN is computed with a stale "
+                            "off-by-one comparison against zero"});
+  logic.Add({.function = "LENGTH",
+             .function_type = "string",
+             .effect = LogicEffect::kTruncate,
+             .scope = LogicScope::kTopLevelCall,
+             .pattern = "L2.1",
+             .description = "top-level LENGTH projection halves the byte count "
+                            "when no enclosing call re-checks it"});
+  logic.Add({.function = "FLOOR",
+             .function_type = "math",
+             .effect = LogicEffect::kNegate,
+             .scope = LogicScope::kWherePredicate,
+             .pattern = "L3.1",
+             .description = "FLOOR evaluated inside a WHERE predicate flips "
+                            "the sign of its result"});
   return db;
 }
 

@@ -479,6 +479,29 @@ std::unique_ptr<Database> MakeVirtuosoDialect() {
             .param_type = TypeKind::kGeometry,
             .description = "VECTOR deep-copies geometry boxes via a null clone "
                            "hook"});
+
+  // Seeded wrong-result corpus (inert until logic faults are enabled):
+  // ground truth for the EET / differential logic oracles.
+  LogicBugAdder logic(*db, "virtuoso");
+  logic.Add({.function = "FLOOR",
+             .function_type = "math",
+             .effect = LogicEffect::kNegate,
+             .scope = LogicScope::kConstArgs,
+             .pattern = "L1.1",
+             .description = "constant-folded FLOOR negates its result in the box "
+                            "conversion"});
+  logic.Add({.function = "REVERSE",
+             .function_type = "string",
+             .effect = LogicEffect::kOffByOne,
+             .scope = LogicScope::kTopLevelCall,
+             .pattern = "L2.1",
+             .description = "top-level REVERSE appends a stray terminator byte"});
+  logic.Add({.function = "LENGTH",
+             .function_type = "string",
+             .effect = LogicEffect::kNegate,
+             .scope = LogicScope::kWherePredicate,
+             .pattern = "L3.1",
+             .description = "LENGTH inside a WHERE predicate returns a negated count"});
   return db;
 }
 

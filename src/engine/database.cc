@@ -299,14 +299,20 @@ StatementResult Database::ExecuteStatementImpl(const Statement& stmt_in) {
   ec.stage = Stage::kExecute;
 
   if (const SelectStmt* sel = stmt.select()) {
+    // Wrong-result faults apply to SELECT execution only: DDL and INSERT
+    // never store perturbed values, so table state stays clean ground truth
+    // for the result-set oracles.
+    ec.allow_logic_faults = logic_faults_enabled_;
     Result<QueryOutput> out = RunSelect(ec, *sel);
     if (!out.ok()) {
       result.status = out.status();
       result.crash = std::move(ec.crash);
+      result.logic_hits = std::move(ec.logic_hits);
       return result;
     }
     result.columns = std::move(out->columns);
     result.rows = std::move(out->rows);
+    result.logic_hits = std::move(ec.logic_hits);
     return result;
   }
   if (const auto* create = std::get_if<CreateTableStmt>(&stmt.node)) {

@@ -60,6 +60,12 @@ struct StatementResult {
   std::vector<std::string> columns;
   std::vector<ValueList> rows;
 
+  // Wrong-result faults (LogicBugSpec) that fired during SELECT execution.
+  // Ground-truth bookkeeping only: a logic bug by definition leaves status
+  // OK, and campaigns use these records to validate oracle verdicts — never
+  // to detect bugs directly. Empty unless logic faults are enabled.
+  std::vector<LogicBugInfo> logic_hits;
+
   bool ok() const { return status.ok(); }
   bool crashed() const { return crash.has_value(); }
 };
@@ -89,6 +95,13 @@ class Database {
   // Resets the simulate_first replay budget.
   void set_crash_realism(CrashRealismPolicy policy);
   const CrashRealismPolicy& crash_policy() const { return crash_policy_; }
+
+  // Arms the wrong-result fault corpus (LogicBugSpec). Off by default: the
+  // dialect constructors seed the specs unconditionally, but they perturb
+  // nothing until a logic-oracle campaign enables them — so the crash path,
+  // golden PoC corpus, and every determinism contract are unaffected.
+  void set_logic_faults_enabled(bool enabled) { logic_faults_enabled_ = enabled; }
+  bool logic_faults_enabled() const { return logic_faults_enabled_; }
 
   // Invoked the moment an injected fault fires (ExecContext::RaiseCrash and
   // the parse-stage probe). Under CrashRealism::kReal with the simulate_first
@@ -132,6 +145,7 @@ class Database {
 
   EngineConfig config_;
   CrashRealismPolicy crash_policy_;
+  bool logic_faults_enabled_ = false;
   int64_t crash_sim_remaining_ = 0;
   FunctionRegistry registry_;
   FaultEngine faults_;

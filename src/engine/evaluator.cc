@@ -19,6 +19,35 @@ Result<Value> ToBool3V(ExecContext& ec, const Value& v) {
   return CoerceValue(v, TypeKind::kBool, ec.db->config().cast_options);
 }
 
+// Syntactic constant-ness of an argument expression, for
+// LogicScope::kConstArgs: literals, and unary operators / casts over
+// constants. A function call is NOT constant — that is exactly the hook an
+// EET identity chain (COALESCE(c, c)) uses to evade a const-args-scoped
+// wrong-result fault.
+bool IsConstExpr(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      return true;
+    case ExprKind::kUnaryOp:
+    case ExprKind::kCast:
+      return e.args.size() == 1 && IsConstExpr(*e.args[0]);
+    default:
+      return false;
+  }
+}
+
+bool AllArgumentsConst(const Expr& call) {
+  if (call.args.empty()) {
+    return false;
+  }
+  for (const ExprPtr& a : call.args) {
+    if (!IsConstExpr(*a)) {
+      return false;
+    }
+  }
+  return true;
+}
+
 Result<Value> EvalArithmetic(ExecContext& ec, const std::string& op, const Value& a,
                              const Value& b) {
   if (a.is_null() || b.is_null()) {
@@ -274,7 +303,22 @@ Result<Value> Evaluator::EvalFunctionCall(const Expr& e, const RowBinding& row) 
   FunctionContext ctx = MakeFunctionContext(ec_);
   ctx.set_current_function(def->name);
   ctx.set_call_depth(ec_.call_depth);
-  return def->scalar(ctx, argv);
+  Result<Value> out = def->scalar(ctx, argv);
+
+  // Wrong-result faults fire AFTER a successful computation: the statement
+  // keeps succeeding, only the value is silently perturbed (fault.h,
+  // LogicBugSpec). Recording the hit is ground-truth bookkeeping for oracle
+  // validation, never a detection signal.
+  if (out.ok() && ec_.allow_logic_faults && db.logic_faults_enabled() &&
+      db.faults().HasLogicBugs(e.func_name)) {
+    if (auto hit = db.faults().CheckLogicFunction(e.func_name, argv, ec_.call_depth,
+                                                  AllArgumentsConst(e), ec_.in_where)) {
+      Value perturbed = ApplyLogicEffect(hit->effect, *out);
+      ec_.RecordLogicHit(std::move(*hit));
+      return perturbed;
+    }
+  }
+  return out;
 }
 
 Result<Value> Evaluator::EvalCast(const Expr& e, const RowBinding& row) {

@@ -31,6 +31,25 @@ struct ExecContext {
   int64_t max_rows = 0;
   uint32_t watchdog_tick = 0;
 
+  // Wrong-result fault state (src/fault/fault.h). `allow_logic_faults` is
+  // set only for SELECT execution of a logic-fault-enabled Database, so DDL
+  // and INSERT paths never store perturbed values; `in_where` marks WHERE
+  // predicate evaluation (LogicScope::kWherePredicate). Fired specs are
+  // recorded here, deduplicated by bug id, and copied into the
+  // StatementResult — silently, the statement still succeeds.
+  bool allow_logic_faults = false;
+  bool in_where = false;
+  std::vector<LogicBugInfo> logic_hits;
+
+  void RecordLogicHit(LogicBugInfo info) {
+    for (const LogicBugInfo& hit : logic_hits) {
+      if (hit.bug_id == info.bug_id) {
+        return;
+      }
+    }
+    logic_hits.push_back(std::move(info));
+  }
+
   // Records a crash and produces the status that unwinds the evaluation. In
   // real-crash mode the OnCrashTriggered call raises the actual signal and
   // never returns.

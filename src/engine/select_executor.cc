@@ -226,6 +226,18 @@ Result<QueryOutput> GroupedExecution::Project(const std::vector<std::string>& fr
   return out;
 }
 
+// Marks WHERE-predicate evaluation for LogicScope::kWherePredicate faults.
+// Save/restore (not set/clear) so a subquery's own clauses inside an outer
+// WHERE don't strip the outer predicate context.
+struct WhereScope {
+  ExecContext& ec;
+  bool prev;
+  explicit WhereScope(ExecContext& context) : ec(context), prev(context.in_where) {
+    ec.in_where = true;
+  }
+  ~WhereScope() { ec.in_where = prev; }
+};
+
 Result<QueryOutput> RunGrouped(ExecContext& ec, const SelectStmt& sel,
                                const FromData& from) {
   std::vector<const Expr*> agg_calls;
@@ -242,7 +254,14 @@ Result<QueryOutput> RunGrouped(ExecContext& ec, const SelectStmt& sel,
     RowBinding binding(from.names, &row);
     if (sel.where != nullptr) {
       Evaluator eval(ec);
-      SOFT_ASSIGN_OR_RETURN(Value cond, eval.Eval(*sel.where, binding));
+      Result<Value> cond_r = [&] {
+        const WhereScope where_scope(ec);
+        return eval.Eval(*sel.where, binding);
+      }();
+      if (!cond_r.ok()) {
+        return cond_r.status();
+      }
+      const Value cond = std::move(cond_r).value();
       if (cond.is_null()) {
         continue;
       }
@@ -305,7 +324,14 @@ Result<QueryOutput> RunPlain(ExecContext& ec, const SelectStmt& sel, const FromD
     RowBinding binding(from.names, from.has_source ? &row : nullptr);
     Evaluator eval(ec);
     if (sel.where != nullptr) {
-      SOFT_ASSIGN_OR_RETURN(Value cond, eval.Eval(*sel.where, binding));
+      Result<Value> cond_r = [&] {
+        const WhereScope where_scope(ec);
+        return eval.Eval(*sel.where, binding);
+      }();
+      if (!cond_r.ok()) {
+        return cond_r.status();
+      }
+      const Value cond = std::move(cond_r).value();
       if (cond.is_null()) {
         continue;
       }

@@ -1,6 +1,7 @@
 #include "src/fault/fault.h"
 
 #include <csignal>
+#include <cstdint>
 #include <cstdlib>
 
 #include "src/sqlvalue/geometry.h"
@@ -187,9 +188,23 @@ CrashInfo MakeCrash(const BugSpec& spec) {
   return info;
 }
 
-}  // namespace
+LogicBugInfo MakeLogicInfo(const LogicBugSpec& spec) {
+  LogicBugInfo info;
+  info.bug_id = spec.id;
+  info.dbms = spec.dbms;
+  info.function = spec.function;
+  info.effect = spec.effect;
+  info.scope = spec.scope;
+  info.pattern = spec.pattern;
+  info.description = spec.description;
+  return info;
+}
 
-bool FaultEngine::ArgMatches(const BugSpec& spec, const Value& v) {
+// The boundary-argument matchers are shared between the crash corpus
+// (BugSpec) and the wrong-result corpus (LogicBugSpec): both spec types
+// carry the same trigger fields.
+template <typename Spec>
+bool ArgMatches(const Spec& spec, const Value& v) {
   switch (spec.trigger) {
     case TriggerKind::kArgIsStar:
       return v.is_star();
@@ -237,8 +252,9 @@ bool FaultEngine::ArgMatches(const BugSpec& spec, const Value& v) {
   }
 }
 
-bool FaultEngine::TriggerMatches(const BugSpec& spec, const ValueList& args, int call_depth,
-                                 bool distinct) {
+template <typename Spec>
+bool TriggerMatches(const Spec& spec, const ValueList& args, int call_depth,
+                    bool distinct) {
   switch (spec.trigger) {
     case TriggerKind::kAlways:
       return true;
@@ -278,6 +294,8 @@ bool FaultEngine::TriggerMatches(const BugSpec& spec, const ValueList& args, int
   return false;
 }
 
+}  // namespace
+
 std::optional<CrashInfo> FaultEngine::CheckFunction(std::string_view function,
                                                     const ValueList& args, int call_depth,
                                                     bool distinct, Stage stage) const {
@@ -316,6 +334,159 @@ std::optional<CrashInfo> FaultEngine::CheckCast(TypeKind target, const Value& in
     }
     if (ArgMatches(spec, input)) {
       return MakeCrash(spec);
+    }
+  }
+  return std::nullopt;
+}
+
+std::string_view LogicEffectName(LogicEffect effect) {
+  switch (effect) {
+    case LogicEffect::kOffByOne:
+      return "off_by_one";
+    case LogicEffect::kNegate:
+      return "negate";
+    case LogicEffect::kNullOut:
+      return "null_out";
+    case LogicEffect::kZeroOut:
+      return "zero_out";
+    case LogicEffect::kTruncate:
+      return "truncate";
+  }
+  return "?";
+}
+
+std::string_view LogicScopeName(LogicScope scope) {
+  switch (scope) {
+    case LogicScope::kAnyCall:
+      return "any_call";
+    case LogicScope::kTopLevelCall:
+      return "top_level_call";
+    case LogicScope::kConstArgs:
+      return "const_args";
+    case LogicScope::kWherePredicate:
+      return "where_predicate";
+  }
+  return "?";
+}
+
+std::string LogicBugInfo::Summary() const {
+  std::string out = "LBUG-";
+  out += dbms;
+  out += "-";
+  out += std::to_string(bug_id);
+  out += " [";
+  out += LogicEffectName(effect);
+  out += "/";
+  out += LogicScopeName(scope);
+  out += "] in ";
+  out += function;
+  out += " (";
+  out += pattern;
+  out += "): ";
+  out += description;
+  return out;
+}
+
+Value ApplyLogicEffect(LogicEffect effect, const Value& v) {
+  switch (effect) {
+    case LogicEffect::kOffByOne:
+      switch (v.kind()) {
+        case TypeKind::kInt:
+          return Value::Int(v.int_value() == INT64_MAX ? INT64_MIN
+                                                       : v.int_value() + 1);
+        case TypeKind::kDouble:
+          return Value::DoubleVal(v.double_value() + 1.0);
+        case TypeKind::kBool:
+          return Value::Boolean(!v.bool_value());
+        case TypeKind::kString:
+          return Value::Str(v.string_value() + "?");
+        default:
+          return Value::Null();
+      }
+    case LogicEffect::kNegate:
+      switch (v.kind()) {
+        case TypeKind::kInt:
+          return Value::Int(v.int_value() == INT64_MIN ? INT64_MAX
+                                                       : -v.int_value());
+        case TypeKind::kDouble:
+          return Value::DoubleVal(-v.double_value());
+        case TypeKind::kBool:
+          return Value::Boolean(!v.bool_value());
+        default:
+          return Value::Null();
+      }
+    case LogicEffect::kNullOut:
+      return Value::Null();
+    case LogicEffect::kZeroOut:
+      switch (v.kind()) {
+        case TypeKind::kInt:
+          return Value::Int(0);
+        case TypeKind::kDouble:
+          return Value::DoubleVal(0.0);
+        case TypeKind::kBool:
+          return Value::Boolean(false);
+        case TypeKind::kString:
+          return Value::Str("");
+        default:
+          return Value::Null();
+      }
+    case LogicEffect::kTruncate:
+      switch (v.kind()) {
+        case TypeKind::kString:
+          return Value::Str(v.string_value().substr(0, v.string_value().size() / 2));
+        case TypeKind::kInt:
+          return Value::Int(v.int_value() / 2);
+        case TypeKind::kDouble:
+          return Value::DoubleVal(static_cast<double>(static_cast<int64_t>(v.double_value())));
+        default:
+          return Value::Null();
+      }
+  }
+  return Value::Null();
+}
+
+void FaultEngine::AddLogicBug(LogicBugSpec spec) {
+  spec.function = AsciiUpper(spec.function);
+  logic_by_function_[spec.function].push_back(spec);
+  all_logic_.push_back(std::move(spec));
+}
+
+bool FaultEngine::HasLogicBugs(std::string_view function) const {
+  if (logic_by_function_.empty()) {
+    return false;
+  }
+  return logic_by_function_.find(AsciiUpper(function)) != logic_by_function_.end();
+}
+
+std::optional<LogicBugInfo> FaultEngine::CheckLogicFunction(
+    std::string_view function, const ValueList& args, int call_depth, bool const_args,
+    bool in_where) const {
+  const auto it = logic_by_function_.find(AsciiUpper(function));
+  if (it == logic_by_function_.end()) {
+    return std::nullopt;
+  }
+  for (const LogicBugSpec& spec : it->second) {
+    switch (spec.scope) {
+      case LogicScope::kAnyCall:
+        break;
+      case LogicScope::kTopLevelCall:
+        if (call_depth != 1) {
+          continue;
+        }
+        break;
+      case LogicScope::kConstArgs:
+        if (!const_args) {
+          continue;
+        }
+        break;
+      case LogicScope::kWherePredicate:
+        if (!in_where) {
+          continue;
+        }
+        break;
+    }
+    if (TriggerMatches(spec, args, call_depth, /*distinct=*/false)) {
+      return MakeLogicInfo(spec);
     }
   }
   return std::nullopt;

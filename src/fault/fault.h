@@ -85,6 +85,80 @@ struct BugSpec {
   std::string description;          // one-line account, used in bug reports
 };
 
+// How a wrong-result (logic) bug perturbs a function's return value. Unlike
+// a CrashType there is no signal and no error status: the statement succeeds
+// and simply returns a wrong row or value — the bug class only a result-set
+// oracle (EET, differential, NoREC, TLP) can observe.
+enum class LogicEffect {
+  kOffByOne,   // numeric +1, boolean flip, string gains a trailing byte
+  kNegate,     // numeric sign flip / boolean negation
+  kNullOut,    // result silently replaced by NULL
+  kZeroOut,    // result replaced by the type's zero/empty value
+  kTruncate,   // string halved / integer halved / double truncated
+};
+
+std::string_view LogicEffectName(LogicEffect effect);  // "off_by_one", ...
+
+// Where in the statement a LogicBugSpec applies. The scopes are chosen so
+// each maps onto a distinct detection channel: an EET rewrite perturbs call
+// depth and argument const-ness, the WHERE scope is what NoREC's projection
+// rewrite escapes, and kAnyCall is only observable differentially.
+enum class LogicScope {
+  kAnyCall,         // every evaluation of the function
+  kTopLevelCall,    // only outermost calls (call depth 1) — an EET
+                    // COALESCE shell pushes the call to depth 2 and evades it
+  kConstArgs,       // only when every argument expression is constant — an
+                    // EET identity chain over an argument evades it
+  kWherePredicate,  // only while evaluating a WHERE predicate — NoREC's
+                    // projection rewrite and the differential oracle see it
+};
+
+std::string_view LogicScopeName(LogicScope scope);  // "any_call", ...
+
+// A seeded wrong-result bug: pure data, exactly like BugSpec, but firing
+// perturbs the function's (successful) return value instead of raising a
+// crash. The trigger fields mirror BugSpec so the same boundary-argument
+// matching applies.
+struct LogicBugSpec {
+  int id = 0;                       // stable identifier (LBUG-<dbms>-<n>)
+  std::string dbms;
+  std::string function;             // upper-case
+  std::string function_type;
+  LogicEffect effect = LogicEffect::kOffByOne;
+  LogicScope scope = LogicScope::kAnyCall;
+  std::string pattern;              // paper pattern credited, e.g. "L1"
+
+  TriggerKind trigger = TriggerKind::kAlways;
+  int arg_index = -1;
+  int64_t threshold = 0;
+  TypeKind param_type = TypeKind::kNull;
+  std::string param_text;
+
+  std::string description;
+};
+
+// What the evaluator records when a LogicBugSpec fires. Recording is silent
+// — the statement still succeeds — and exists only so campaigns can verify
+// oracle verdicts against injected ground truth (and flag divergences with
+// no recorded hit as oracle false positives).
+struct LogicBugInfo {
+  int bug_id = 0;
+  std::string dbms;
+  std::string function;
+  LogicEffect effect = LogicEffect::kOffByOne;
+  LogicScope scope = LogicScope::kAnyCall;
+  std::string pattern;
+  std::string description;
+
+  std::string Summary() const;
+
+  bool operator==(const LogicBugInfo&) const = default;
+};
+
+// Applies a LogicEffect to a successfully computed value. Total and
+// deterministic; kinds an effect cannot meaningfully perturb become NULL.
+Value ApplyLogicEffect(LogicEffect effect, const Value& v);
+
 // What the harness observes when a spec fires.
 struct CrashInfo {
   int bug_id = 0;
@@ -154,14 +228,28 @@ class FaultEngine {
   std::optional<CrashInfo> CheckCast(TypeKind target, const Value& input,
                                      Stage stage) const;
 
- private:
-  static bool TriggerMatches(const BugSpec& spec, const ValueList& args, int call_depth,
-                             bool distinct);
-  static bool ArgMatches(const BugSpec& spec, const Value& v);
+  // Wrong-result (logic) bug corpus. Specs are seeded unconditionally by the
+  // dialect constructors but only consulted when the owning Database has
+  // logic faults enabled — the crash path and every existing campaign are
+  // untouched by default.
+  void AddLogicBug(LogicBugSpec spec);
+  size_t logic_bug_count() const { return all_logic_.size(); }
+  const std::vector<LogicBugSpec>& AllLogicBugs() const { return all_logic_; }
+  bool HasLogicBugs(std::string_view function) const;
 
+  // Consulted by the evaluator after a function call succeeds. `const_args`
+  // is true when every argument *expression* was constant; `in_where` while
+  // evaluating a WHERE predicate. Returns the first matching spec.
+  std::optional<LogicBugInfo> CheckLogicFunction(std::string_view function,
+                                                 const ValueList& args, int call_depth,
+                                                 bool const_args, bool in_where) const;
+
+ private:
   std::unordered_map<std::string, std::vector<BugSpec>> by_function_;
   std::vector<BugSpec> all_;
   size_t total_bugs_ = 0;
+  std::unordered_map<std::string, std::vector<LogicBugSpec>> logic_by_function_;
+  std::vector<LogicBugSpec> all_logic_;
 };
 
 }  // namespace soft

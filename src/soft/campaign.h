@@ -93,6 +93,15 @@ struct CampaignOptions {
   // observational — bug sets, coverage, and outcome digests are identical at
   // every setting. Exposed as find_bugs --trace-sample=N.
   int trace_sample = 0;
+
+  // Logic-bug oracles ("eet", "diff", "norec", "tlp", "all" — see
+  // src/soft/logic_oracle.h). Non-empty switches the campaign into
+  // wrong-result mode: the database arms its seeded LogicBugSpec corpus
+  // after prerequisites, every seeded bug's PoC is queued ahead of the
+  // generated pool, and each successfully executed SELECT is examined by
+  // every listed oracle. Requires CrashRealism::kSimulated — a forked kReal
+  // worker cannot host the differential siblings.
+  std::vector<std::string> logic_oracles;
 };
 
 struct FoundBug {
@@ -118,6 +127,23 @@ struct FoundBug {
   bool wall_recorded = false;
 };
 
+// One detected wrong-result bug (campaign logic-oracle mode). The verdict
+// came from result comparison alone; `info` is the ground-truth spec the
+// engine recorded when it perturbed the value, attached afterwards so tests
+// can assert detection completeness.
+struct FoundLogicBug {
+  LogicBugInfo info;
+  std::string oracle;   // first oracle that flagged it ("eet", "diff", ...)
+  std::string poc_sql;  // the campaign statement whose result diverged
+  std::string witness;  // variant SQL / sibling dialect / reference predicate
+  std::string detail;
+  // Global case index of the flagging statement — shard-invariant under
+  // partition sharding, unlike statements_until_found (shard-local).
+  int case_index = 0;
+  int statements_until_found = 0;
+  int shard = 0;
+};
+
 struct CampaignResult {
   std::string tool;
   std::string dialect;
@@ -127,6 +153,15 @@ struct CampaignResult {
   int false_positives = 0;         // resource-limit kills (REPEAT(...,1e10) class)
   int watchdog_timeouts = 0;       // statement-deadline kills (kTimeout)
   std::vector<FoundBug> unique_bugs;
+
+  // Wrong-result detection (CampaignOptions::logic_oracles). Counters and
+  // bug set are shard-invariant: each case is examined exactly once, in
+  // whichever shard executes it, against a database (and differential
+  // siblings) that replayed exactly that shard's side effects.
+  std::vector<FoundLogicBug> logic_bugs;  // sorted by (case_index, bug_id)
+  int logic_checks = 0;           // oracle examinations that were in scope
+  int logic_divergences = 0;      // examinations that flagged a divergence
+  int logic_false_positives = 0;  // divergences with no recorded fault hit
 
   // Coverage snapshot after the campaign (Table 5 / Table 6 quantities).
   size_t functions_triggered = 0;

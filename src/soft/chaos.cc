@@ -438,6 +438,32 @@ uint64_t DigestCampaignResult(const CampaignResult& result) {
     d = FnvFoldInt(d, bug.statements_until_found);
     d = FnvFoldInt(d, bug.shard);
   }
+  // Wrong-result outcome: counters plus shard-invariant bug identity, so a
+  // logic campaign's digest also moves when an oracle regresses.
+  d = FnvFoldInt(d, result.logic_checks);
+  d = FnvFoldInt(d, result.logic_divergences);
+  d = FnvFoldInt(d, result.logic_false_positives);
+  for (const FoundLogicBug& bug : result.logic_bugs) {
+    d = FnvFoldInt(d, bug.info.bug_id);
+    d = FnvFold(d, bug.oracle);
+    d = FnvFold(d, bug.poc_sql);
+    d = FnvFoldInt(d, bug.case_index);
+  }
+  return d;
+}
+
+uint64_t DigestLogicOutcome(const CampaignResult& result) {
+  uint64_t d = 0xCBF29CE484222325ull;
+  d = FnvFold(d, result.dialect);
+  d = FnvFoldInt(d, result.logic_checks);
+  d = FnvFoldInt(d, result.logic_divergences);
+  d = FnvFoldInt(d, result.logic_false_positives);
+  for (const FoundLogicBug& bug : result.logic_bugs) {
+    d = FnvFoldInt(d, bug.info.bug_id);
+    d = FnvFold(d, bug.oracle);
+    d = FnvFold(d, bug.poc_sql);
+    d = FnvFoldInt(d, bug.case_index);
+  }
   return d;
 }
 

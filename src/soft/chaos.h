@@ -68,6 +68,15 @@ struct ChaosReport {
 // reference. Exposed for the chaos tests' sharded-identity assertions.
 uint64_t DigestCampaignResult(const CampaignResult& result);
 
+// Stable digest over a campaign's wrong-result outcome: the logic counters
+// and, per logic bug, only shard-invariant identity (bug id, flagging
+// oracle, PoC statement, global case index). statements_until_found and
+// shard are shard-LOCAL attribution detail and are deliberately excluded —
+// this digest is bit-identical between a serial campaign and any
+// partition-sharded run of the same options (find_bugs prints it as
+// `logic digest`).
+uint64_t DigestLogicOutcome(const CampaignResult& result);
+
 // Runs the smoke oracle once per inventory site. `budget` bounds each smoke
 // campaign's statement count (<= 0 selects the default, 600).
 // `include_worker_sites` = false skips the fork-based worker.* sites

@@ -1,6 +1,13 @@
 #include "src/soft/logic_oracle.h"
 
+#include <algorithm>
+#include <utility>
+
+#include "src/dialects/dialect_diffs.h"
+#include "src/dialects/dialects.h"
 #include "src/soft/boundary_values.h"
+#include "src/soft/eet_transform.h"
+#include "src/sqlparser/parser.h"
 #include "src/util/rng.h"
 
 namespace soft {
@@ -128,6 +135,216 @@ LogicCampaignResult RunLogicCampaign(Database& db, const std::string& table,
     }
   }
   return result;
+}
+
+namespace {
+
+// Shared scope test for the NoREC/TLP campaign adapters: a single-table
+// SELECT with a WHERE clause and no UNION tail. Returns the (table,
+// predicate-SQL) pair when in scope.
+std::optional<std::pair<std::string, std::string>> WhereShape(const std::string& sql) {
+  Result<Statement> parsed = ParseStatement(sql);
+  if (!parsed.ok()) {
+    return std::nullopt;
+  }
+  Statement stmt = std::move(parsed).value();
+  const SelectStmt* sel = stmt.mutable_select();
+  if (sel == nullptr || sel->where == nullptr || sel->from_table.empty() ||
+      sel->union_next != nullptr) {
+    return std::nullopt;
+  }
+  return std::make_pair(sel->from_table, sel->where->ToSql());
+}
+
+// EET: execute each equivalent rewrite on the same database and compare
+// canonical result keys. Variants that fail to execute (a crash spec newly
+// reached through the deeper call chain, a pruned COALESCE) are skipped —
+// declared differences, not divergences.
+class EetOracle final : public LogicOracle {
+ public:
+  std::string_view name() const override { return "eet"; }
+
+  Verdict Check(Database& db, const std::string& sql,
+                const StatementResult& result) override {
+    Verdict verdict;
+    const std::string original_key = CanonicalResultKey(result);
+    for (const EetVariant& variant : BuildEetVariants(sql)) {
+      const StatementResult v = db.Execute(variant.sql);
+      if (!v.ok()) {
+        continue;
+      }
+      verdict.checked = true;
+      if (CanonicalResultKey(v) != original_key) {
+        verdict.divergence = true;
+        verdict.witness = variant.sql;
+        verdict.detail = variant.label + " variant returned a different result set";
+        return verdict;
+      }
+    }
+    return verdict;
+  }
+};
+
+// Differential: the same statement on the six sibling dialects, compared
+// modulo the declared difference table (dialect_diffs.h). Siblings run with
+// logic faults disabled — they are the clean reference.
+class DifferentialOracle final : public LogicOracle {
+ public:
+  explicit DifferentialOracle(const std::string& dialect) {
+    for (const std::string& name : AllDialectNames()) {
+      if (name == dialect) {
+        continue;
+      }
+      if (auto sibling = MakeDialect(name)) {
+        siblings_.emplace_back(name, std::move(sibling));
+      }
+    }
+  }
+
+  std::string_view name() const override { return "diff"; }
+
+  void ObserveSideEffect(const std::string& sql) override {
+    for (auto& [name, sibling] : siblings_) {
+      sibling->Execute(sql);
+    }
+  }
+
+  Verdict Check(Database& db, const std::string& sql,
+                const StatementResult& result) override {
+    (void)db;
+    Verdict verdict;
+    if (!OracleComparable(sql)) {
+      return verdict;
+    }
+    for (auto& [name, sibling] : siblings_) {
+      const StatementResult s = sibling->Execute(sql);
+      switch (ClassifyDifferential(result, s)) {
+        case DialectDiffClass::kDeclaredDifference:
+          continue;
+        case DialectDiffClass::kIdentical:
+          verdict.checked = true;
+          continue;
+        case DialectDiffClass::kDivergence:
+          verdict.checked = true;
+          verdict.divergence = true;
+          verdict.witness = name;
+          verdict.detail = "result set differs from the " + name + " dialect";
+          return verdict;
+      }
+    }
+    return verdict;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::unique_ptr<Database>>> siblings_;
+};
+
+// NoREC/TLP as campaign oracles: applied to WHERE-shaped statements, reusing
+// the free-function checks above on the statement's own predicate.
+class NoRecOracle final : public LogicOracle {
+ public:
+  std::string_view name() const override { return "norec"; }
+
+  Verdict Check(Database& db, const std::string& sql,
+                const StatementResult& result) override {
+    (void)result;
+    Verdict verdict;
+    if (!OracleComparable(sql)) {
+      return verdict;
+    }
+    const auto shape = WhereShape(sql);
+    if (!shape.has_value()) {
+      return verdict;
+    }
+    const Result<std::optional<LogicBug>> check =
+        CheckNoRec(db, shape->first, shape->second);
+    if (!check.ok()) {
+      return verdict;
+    }
+    verdict.checked = true;
+    if (check->has_value()) {
+      verdict.divergence = true;
+      verdict.witness = shape->second;
+      verdict.detail = (*check)->detail;
+    }
+    return verdict;
+  }
+};
+
+class TlpOracle final : public LogicOracle {
+ public:
+  std::string_view name() const override { return "tlp"; }
+
+  Verdict Check(Database& db, const std::string& sql,
+                const StatementResult& result) override {
+    (void)result;
+    Verdict verdict;
+    if (!OracleComparable(sql)) {
+      return verdict;
+    }
+    const auto shape = WhereShape(sql);
+    if (!shape.has_value()) {
+      return verdict;
+    }
+    const Result<std::optional<LogicBug>> check =
+        CheckTlp(db, shape->first, shape->second);
+    if (!check.ok()) {
+      return verdict;
+    }
+    verdict.checked = true;
+    if (check->has_value()) {
+      verdict.divergence = true;
+      verdict.witness = shape->second;
+      verdict.detail = (*check)->detail;
+    }
+    return verdict;
+  }
+};
+
+const char* const kOracleNames[] = {"eet", "diff", "norec", "tlp"};
+
+}  // namespace
+
+bool IsKnownLogicOracle(const std::string& name) {
+  if (name == "all") {
+    return true;
+  }
+  for (const char* known : kOracleNames) {
+    if (name == known) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::unique_ptr<LogicOracle>> MakeLogicOracles(
+    const std::vector<std::string>& names, const std::string& dialect) {
+  std::vector<std::string> expanded;
+  for (const std::string& name : names) {
+    if (name == "all") {
+      expanded.insert(expanded.end(), std::begin(kOracleNames), std::end(kOracleNames));
+    } else {
+      expanded.push_back(name);
+    }
+  }
+  std::vector<std::unique_ptr<LogicOracle>> oracles;
+  std::vector<std::string> seen;
+  for (const std::string& name : expanded) {
+    if (std::find(seen.begin(), seen.end(), name) != seen.end()) {
+      continue;
+    }
+    seen.push_back(name);
+    if (name == "eet") {
+      oracles.push_back(std::make_unique<EetOracle>());
+    } else if (name == "diff") {
+      oracles.push_back(std::make_unique<DifferentialOracle>(dialect));
+    } else if (name == "norec") {
+      oracles.push_back(std::make_unique<NoRecOracle>());
+    } else if (name == "tlp") {
+      oracles.push_back(std::make_unique<TlpOracle>());
+    }
+  }
+  return oracles;
 }
 
 }  // namespace soft

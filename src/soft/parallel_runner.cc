@@ -109,6 +109,9 @@ ParallelCampaignRunner::ShardOutcome ParallelCampaignRunner::RunShard(
     for (FoundBug& bug : outcome.result.unique_bugs) {
       bug.shard = plan.shard;
     }
+    for (FoundLogicBug& bug : outcome.result.logic_bugs) {
+      bug.shard = plan.shard;
+    }
     if (tracing) {
       AttachShardSpans(outcome.result, plan.shard, shard_start_ns,
                        telemetry::MonotonicNowNs() - campaign_base_ns,
@@ -123,6 +126,9 @@ ParallelCampaignRunner::ShardOutcome ParallelCampaignRunner::RunShard(
   }
   outcome.result = fuzzer->Run(*db, plan.options);
   for (FoundBug& bug : outcome.result.unique_bugs) {
+    bug.shard = plan.shard;
+  }
+  for (FoundLogicBug& bug : outcome.result.logic_bugs) {
     bug.shard = plan.shard;
   }
   outcome.coverage = db->coverage();
@@ -145,6 +151,7 @@ CampaignResult ParallelCampaignRunner::Merge(std::vector<ShardOutcome> outcomes)
 
   CoverageTracker coverage;
   std::vector<FoundBug> witnesses;
+  std::vector<FoundLogicBug> logic_witnesses;
   worker_stats_ = WorkerRunStats{};
   for (const ShardOutcome& outcome : outcomes) {
     worker_stats_.MergeFrom(outcome.stats);
@@ -156,6 +163,9 @@ CampaignResult ParallelCampaignRunner::Merge(std::vector<ShardOutcome> outcomes)
     merged.crashes_observed += r.crashes_observed;
     merged.false_positives += r.false_positives;
     merged.watchdog_timeouts += r.watchdog_timeouts;
+    merged.logic_checks += r.logic_checks;
+    merged.logic_divergences += r.logic_divergences;
+    merged.logic_false_positives += r.logic_false_positives;
     merged.journal_degraded |= r.journal_degraded;
     merged.shard_statements.push_back(r.statements_executed);
     // Telemetry merges by per-bucket / per-counter sum, walking shards in
@@ -166,6 +176,8 @@ CampaignResult ParallelCampaignRunner::Merge(std::vector<ShardOutcome> outcomes)
     merged.shard_telemetry.push_back(r.telemetry);
     coverage.MergeFrom(outcome.coverage);
     witnesses.insert(witnesses.end(), r.unique_bugs.begin(), r.unique_bugs.end());
+    logic_witnesses.insert(logic_witnesses.end(), r.logic_bugs.begin(),
+                           r.logic_bugs.end());
     // Trace spans and flight records concatenate in shard index order — the
     // merged trace is a pure function of the shard outcomes, like telemetry.
     merged.trace.Append(r.trace);
@@ -214,6 +226,26 @@ CampaignResult ParallelCampaignRunner::Merge(std::vector<ShardOutcome> outcomes)
             [](const FoundBug& a, const FoundBug& b) {
               return std::make_tuple(a.shard, a.statements_until_found, a.crash.bug_id) <
                      std::make_tuple(b.shard, b.statements_until_found, b.crash.bug_id);
+            });
+
+  // Logic bugs dedupe by bug id on the lowest global case index — the same
+  // case flags the same bug in whichever shard executes it, so the winner
+  // (and the merged order below) is shard-count-invariant.
+  std::map<int, FoundLogicBug> best_logic;
+  for (FoundLogicBug& bug : logic_witnesses) {
+    const auto [it, inserted] = best_logic.try_emplace(bug.info.bug_id, bug);
+    if (!inserted && bug.case_index < it->second.case_index) {
+      it->second = std::move(bug);
+    }
+  }
+  merged.logic_bugs.reserve(best_logic.size());
+  for (auto& [id, bug] : best_logic) {
+    merged.logic_bugs.push_back(std::move(bug));
+  }
+  std::sort(merged.logic_bugs.begin(), merged.logic_bugs.end(),
+            [](const FoundLogicBug& a, const FoundLogicBug& b) {
+              return a.case_index != b.case_index ? a.case_index < b.case_index
+                                                  : a.info.bug_id < b.info.bug_id;
             });
 
   merged.functions_triggered = coverage.TriggeredFunctionCount();

@@ -4,14 +4,25 @@
 #include <map>
 #include <set>
 
+#include "src/dialects/dialects.h"
 #include "src/failpoint/failpoint.h"
 #include "src/soft/expr_collection.h"
+#include "src/soft/logic_oracle.h"
 #include "src/soft/parallel_runner.h"
 #include "src/soft/seeds.h"
+#include "src/sqlparser/parser.h"
 #include "src/telemetry/telemetry.h"
 #include "src/util/rng.h"
 
 namespace soft {
+namespace {
+
+bool StatementIsSelect(const std::string& sql) {
+  const Result<Statement> parsed = ParseStatement(sql);
+  return parsed.ok() && parsed->is_select();
+}
+
+}  // namespace
 
 SoftFuzzer::SoftFuzzer(SoftOptions options) : soft_options_(std::move(options)) {}
 
@@ -40,9 +51,35 @@ CampaignResult SoftFuzzer::Run(Database& db, const CampaignOptions& options) {
   const std::vector<std::string> suite = SeedSuiteFor(db.config().name);
   const FunctionCorpus corpus = CollectCorpus(db, suite);
 
+  // Logic-bug oracle mode (CampaignOptions::logic_oracles). Oracles exist
+  // before the prerequisites run so the differential siblings replay them and
+  // start in lockstep with the campaign database.
+  const bool logic_mode = !options.logic_oracles.empty() &&
+                          options.crash_realism == CrashRealism::kSimulated;
+  std::vector<std::unique_ptr<LogicOracle>> oracles;
+  if (logic_mode) {
+    oracles = MakeLogicOracles(options.logic_oracles, result.dialect);
+  }
+  const auto observe_side_effect = [&](const std::string& sql) {
+    for (const std::unique_ptr<LogicOracle>& oracle : oracles) {
+      oracle->ObserveSideEffect(sql);
+    }
+  };
+
   // Prerequisites: tables the suite queries depend on (Finding 4).
   for (const std::string& prereq : corpus.prerequisites) {
     db.Execute(prereq);
+    observe_side_effect(prereq);
+  }
+  if (logic_mode) {
+    for (const std::string& prereq : LogicOraclePrerequisites()) {
+      db.Execute(prereq);
+      observe_side_effect(prereq);
+    }
+    // Arm the seeded wrong-result corpus only now: every DDL/INSERT above ran
+    // clean, so stored rows are identical across the campaign database and
+    // the sibling engines.
+    db.set_logic_faults_enabled(true);
   }
 
   // Step 2: pattern-based generation.
@@ -51,6 +88,17 @@ CampaignResult SoftFuzzer::Run(Database& db, const CampaignOptions& options) {
     engine.set_pool(GenerateExtremesOnlyPool());
   }
   std::vector<GeneratedCase> cases;
+  // In logic mode the seeded wrong-result corpus's PoCs lead the case list,
+  // so even small budgets exercise every LogicBugSpec (the injectable
+  // ground-truth analogue of the crash corpus-replay prefix below).
+  if (logic_mode) {
+    for (const LogicBugSpec& spec : db.faults().AllLogicBugs()) {
+      Result<std::string> poc = BuildLogicPocSql(db, spec);
+      if (poc.ok()) {
+        cases.push_back(GeneratedCase{std::move(poc).value(), "logic-seed"});
+      }
+    }
+  }
   // The suite's own queries and every collected expression run first (the
   // corpus replay: SOFT validates each harvested function expression before
   // mutating it), warming function-trigger coverage across the catalog.
@@ -86,7 +134,9 @@ CampaignResult SoftFuzzer::Run(Database& db, const CampaignOptions& options) {
   // Keep the corpus-replay prefix in place; shuffle only the generated tail
   // so the budget samples patterns and seeds uniformly.
   size_t first_generated = 0;
-  while (first_generated < cases.size() && cases[first_generated].pattern == "seed") {
+  while (first_generated < cases.size() &&
+         (cases[first_generated].pattern == "seed" ||
+          cases[first_generated].pattern == "logic-seed")) {
     ++first_generated;
   }
   for (size_t i = cases.size(); i > first_generated + 1; --i) {
@@ -124,6 +174,7 @@ CampaignResult SoftFuzzer::Run(Database& db, const CampaignOptions& options) {
                             ? static_cast<size_t>(options.max_statements)
                             : size_t{0};
   std::set<int> found_ids;
+  std::set<int> logic_found_ids;
   uint64_t dedup_digest = kDedupDigestSeed;
   for (size_t case_index = shard_index;
        case_index < cases.size() && case_index < budget; case_index += shard_count) {
@@ -177,6 +228,64 @@ CampaignResult SoftFuzzer::Run(Database& db, const CampaignOptions& options) {
       ++result.sql_errors;
       telemetry::CountSqlError(test_case.pattern);
     }
+    // Logic-oracle examination: successful SELECTs are compared for
+    // wrong-result divergence; successful writes are mirrored into the
+    // differential siblings so they stay in lockstep with this shard's
+    // database. Verdicts come exclusively from result comparison —
+    // r.logic_hits is ground truth consulted only AFTER an oracle flags,
+    // to separate attributed bugs from false positives.
+    if (!oracles.empty() && outcome == "ok") {
+      // Oracle re-executions happen while this statement's trace span is
+      // open; the scoped guard suppresses their stage spans so the traced
+      // pipeline stays the statement's own (and span IDs stay unique per
+      // ordinal). The guard is released before the verdict annotation,
+      // which needs the span open again.
+      const std::string verdict = [&]() -> std::string {
+        const trace::ScopedOracleExecution suppress_oracle_stage_spans;
+        if (!StatementIsSelect(test_case.sql)) {
+          observe_side_effect(test_case.sql);
+          return "skipped";
+        }
+        bool any_in_scope = false;
+        for (const std::unique_ptr<LogicOracle>& oracle : oracles) {
+          const LogicOracle::Verdict v = oracle->Check(db, test_case.sql, r);
+          if (!v.checked) {
+            continue;
+          }
+          any_in_scope = true;
+          ++result.logic_checks;
+          telemetry::CountLogicCheck(test_case.pattern);
+          if (!v.divergence) {
+            continue;
+          }
+          ++result.logic_divergences;
+          const std::string oracle_name(oracle->name());
+          if (r.logic_hits.empty()) {
+            ++result.logic_false_positives;
+            return "false_positive:" + oracle_name;
+          }
+          // First flagging oracle wins — deterministic attribution.
+          telemetry::CountLogicBug(test_case.pattern);
+          for (const LogicBugInfo& hit : r.logic_hits) {
+            if (!logic_found_ids.insert(hit.bug_id).second) {
+              continue;
+            }
+            FoundLogicBug logic_bug;
+            logic_bug.info = hit;
+            logic_bug.oracle = oracle_name;
+            logic_bug.poc_sql = test_case.sql;
+            logic_bug.witness = v.witness;
+            logic_bug.detail = v.detail;
+            logic_bug.case_index = static_cast<int>(case_index);
+            logic_bug.statements_until_found = result.statements_executed;
+            result.logic_bugs.push_back(std::move(logic_bug));
+          }
+          return "logic_bug:" + oracle_name;
+        }
+        return any_in_scope ? "consistent" : "skipped";
+      }();
+      trace::AnnotateStatement("oracle_verdict", verdict);
+    }
     trace::EndStatement(outcome);
     trace::FlightEndStatement(outcome);
     if (options.checkpoint_every > 0 && options.checkpoint_sink &&
@@ -197,6 +306,15 @@ CampaignResult SoftFuzzer::Run(Database& db, const CampaignOptions& options) {
       break;
     }
   }
+
+  // Canonical logic-bug order: the global case index is shard-invariant, so
+  // serial and merged sharded campaigns agree on it (statements_until_found
+  // and shard are shard-local attribution detail, excluded from digests).
+  std::sort(result.logic_bugs.begin(), result.logic_bugs.end(),
+            [](const FoundLogicBug& a, const FoundLogicBug& b) {
+              return a.case_index != b.case_index ? a.case_index < b.case_index
+                                                  : a.info.bug_id < b.info.bug_id;
+            });
 
   result.functions_triggered = db.coverage().TriggeredFunctionCount();
   result.branches_covered = db.coverage().CoveredBranchCount();

@@ -281,6 +281,8 @@ std::string CampaignTelemetry::ToJson() const {
     out += ",\"sql_errors\":" + std::to_string(counters.sql_errors);
     out += ",\"false_positives\":" + std::to_string(counters.false_positives);
     out += ",\"timeouts\":" + std::to_string(counters.timeouts);
+    out += ",\"logic_checks\":" + std::to_string(counters.logic_checks);
+    out += ",\"logic_bugs\":" + std::to_string(counters.logic_bugs);
     out += "}";
   }
   out += "}}";
@@ -338,6 +340,16 @@ void WriteCampaignTail(std::ostream& out, const CampaignResult& result,
         << FormatMs(static_cast<uint64_t>(bug.found_wall_ns))
         << ",\"recorded\":" << (bug.wall_recorded ? "true" : "false") << "}\n";
   }
+  for (const FoundLogicBug& bug : result.logic_bugs) {
+    out << "{\"event\":\"logic_bug\",\"bug_id\":" << bug.info.bug_id
+        << ",\"oracle\":\"" << EscapeJson(bug.oracle) << "\",\"function\":\""
+        << EscapeJson(bug.info.function) << "\",\"effect\":\""
+        << LogicEffectName(bug.info.effect) << "\",\"scope\":\""
+        << LogicScopeName(bug.info.scope) << "\",\"case_index\":" << bug.case_index
+        << ",\"statement_index\":" << bug.statements_until_found
+        << ",\"shard\":" << bug.shard << ",\"poc\":\"" << EscapeJson(bug.poc_sql)
+        << "\",\"witness\":\"" << EscapeJson(bug.witness) << "\"}\n";
+  }
   for (const trace::CrashFlightRecord& flight : result.crash_flights) {
     // Top-level fields precede "entries" so the flat extractors find them
     // first on replay (the entry objects reuse none of these keys anyway).
@@ -366,6 +378,10 @@ void WriteCampaignTail(std::ostream& out, const CampaignResult& result,
       << ",\"false_positives\":" << result.false_positives
       << ",\"watchdog_timeouts\":" << result.watchdog_timeouts
       << ",\"unique_bugs\":" << result.unique_bugs.size()
+      << ",\"logic_checks\":" << result.logic_checks
+      << ",\"logic_divergences\":" << result.logic_divergences
+      << ",\"logic_false_positives\":" << result.logic_false_positives
+      << ",\"logic_bugs\":" << result.logic_bugs.size()
       << ",\"functions_triggered\":" << result.functions_triggered
       << ",\"branches_covered\":" << result.branches_covered
       << ",\"journal_degraded\":" << (result.journal_degraded ? 1 : 0)
@@ -382,6 +398,14 @@ std::set<int> JournalReplay::BugIds() const {
   std::set<int> ids;
   for (const JournalWitness& witness : witnesses) {
     ids.insert(witness.bug_id);
+  }
+  return ids;
+}
+
+std::set<int> JournalReplay::LogicBugIds() const {
+  std::set<int> ids;
+  for (const JournalLogicBug& bug : logic_bugs) {
+    ids.insert(bug.bug_id);
   }
   return ids;
 }
@@ -452,6 +476,27 @@ Result<JournalReplay> ReplayJournal(std::istream& in) {
         witness.recorded = witness.wall_ms != 0.0;
       }
       replay.witnesses.push_back(std::move(witness));
+    } else if (event == "logic_bug") {
+      JournalLogicBug bug;
+      int64_t bug_id = 0, case_index = 0, statement_index = 0, shard = 0;
+      if (!ExtractInt(line, "bug_id", bug_id) ||
+          !ExtractString(line, "oracle", bug.oracle) ||
+          !ExtractString(line, "function", bug.function) ||
+          !ExtractString(line, "effect", bug.effect) ||
+          !ExtractString(line, "scope", bug.scope) ||
+          !ExtractInt(line, "case_index", case_index) ||
+          !ExtractInt(line, "statement_index", statement_index) ||
+          !ExtractInt(line, "shard", shard) ||
+          !ExtractString(line, "poc", bug.poc) ||
+          !ExtractString(line, "witness", bug.witness)) {
+        return InvalidArgument("journal line " + std::to_string(line_no) +
+                               ": malformed logic_bug");
+      }
+      bug.bug_id = static_cast<int>(bug_id);
+      bug.case_index = static_cast<int>(case_index);
+      bug.statement_index = static_cast<int>(statement_index);
+      bug.shard = static_cast<int>(shard);
+      replay.logic_bugs.push_back(std::move(bug));
     } else if (event == "crash_flight") {
       trace::CrashFlightRecord flight;
       int64_t shard = 0, worker_run = 0, bug_id = 0, last_cases = 0;
@@ -526,6 +571,17 @@ Result<JournalReplay> ReplayJournal(std::istream& in) {
       int64_t degraded = 0;
       if (ExtractInt(line, "journal_degraded", degraded)) {
         replay.journal_degraded = degraded != 0;
+      }
+      // Optional in journals written before the wrong-result oracles existed.
+      int64_t logic = 0;
+      if (ExtractInt(line, "logic_checks", logic)) {
+        replay.logic_checks = static_cast<int>(logic);
+      }
+      if (ExtractInt(line, "logic_divergences", logic)) {
+        replay.logic_divergences = static_cast<int>(logic);
+      }
+      if (ExtractInt(line, "logic_false_positives", logic)) {
+        replay.logic_false_positives = static_cast<int>(logic);
       }
       replay.statements_executed = static_cast<int>(statements);
       replay.finished = true;

@@ -18,6 +18,11 @@
 //                    statement index, shard, wall_ms, recorded (false when
 //                    telemetry was not collecting — a wall_ms of 0 with
 //                    recorded=true is a genuine sub-millisecond hit)
+//   logic_bug        one per seeded wrong-result bug an oracle caught, in
+//                    case order: bug_id, oracle ("eet"/"diff"/"norec"/"tlp"),
+//                    function, effect, scope, case_index (shard-invariant),
+//                    statement_index + shard (shard-local attribution), poc,
+//                    witness (the diverging rewrite / sibling dialect)
 //   crash_flight     one per worker death in a real-crash campaign: shard,
 //                    worker_run, announced, bug_id, last_checkpoint_cases,
 //                    and the flushed flight-ring entries (the last entry of
@@ -75,6 +80,20 @@ struct JournalWitness {
   bool recorded = false;
 };
 
+// One logic_bug event read back from a journal.
+struct JournalLogicBug {
+  int bug_id = 0;
+  std::string oracle;     // which oracle flagged it first
+  std::string function;
+  std::string effect;     // LogicEffectName string, e.g. "off_by_one"
+  std::string scope;      // LogicScopeName string, e.g. "const_args"
+  int case_index = 0;     // global case index — identical serial vs. sharded
+  int statement_index = 0;
+  int shard = 0;
+  std::string poc;        // the flagged statement
+  std::string witness;    // diverging EET variant SQL / sibling dialect name
+};
+
 // A parsed journal: campaign metadata plus the witness stream.
 struct JournalReplay {
   std::string tool;
@@ -88,7 +107,13 @@ struct JournalReplay {
   int resume_markers = 0;                  // campaign_resume events seen
   std::vector<std::string> chaos_specs;    // chaos markers (fault-injected runs)
   std::vector<trace::CrashFlightRecord> crash_flights;  // journal order
+  std::vector<JournalLogicBug> logic_bugs;  // case order (== journal order)
   int statements_executed = 0;
+  // Wrong-result oracle totals from campaign_finish (absent — and zero — in
+  // journals written before the logic oracles existed).
+  int logic_checks = 0;
+  int logic_divergences = 0;
+  int logic_false_positives = 0;
   int watchdog_timeouts = 0;               // absent in pre-watchdog journals
   uint64_t functions_triggered = 0;
   uint64_t branches_covered = 0;
@@ -104,6 +129,7 @@ struct JournalReplay {
   bool journal_degraded = false;
 
   std::set<int> BugIds() const;
+  std::set<int> LogicBugIds() const;
 };
 
 // Parses an NDJSON journal stream. Fails on unknown event types, missing

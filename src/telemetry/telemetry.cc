@@ -112,6 +112,18 @@ void CountTimeout(const std::string& pattern) {
   }
 }
 
+void CountLogicCheck(const std::string& pattern) {
+  if (t_sink != nullptr) {
+    ++t_sink->patterns[pattern].logic_checks;
+  }
+}
+
+void CountLogicBug(const std::string& pattern) {
+  if (t_sink != nullptr) {
+    ++t_sink->patterns[pattern].logic_bugs;
+  }
+}
+
 void RecordNamedLatency(std::string_view name, uint64_t ns) {
   if (!RuntimeEnabled()) {
     return;

@@ -121,6 +121,8 @@ struct PatternCounters {
   uint64_t sql_errors = 0;
   uint64_t false_positives = 0;  // resource-limit kills
   uint64_t timeouts = 0;         // statement-watchdog deadline kills (kTimeout)
+  uint64_t logic_checks = 0;     // in-scope logic-oracle examinations
+  uint64_t logic_bugs = 0;       // attributed wrong-result divergences
 
   void MergeFrom(const PatternCounters& other) {
     generated += other.generated;
@@ -130,6 +132,8 @@ struct PatternCounters {
     sql_errors += other.sql_errors;
     false_positives += other.false_positives;
     timeouts += other.timeouts;
+    logic_checks += other.logic_checks;
+    logic_bugs += other.logic_bugs;
   }
 
   bool operator==(const PatternCounters&) const = default;
@@ -236,6 +240,8 @@ void CountBugDeduped(const std::string& pattern);
 void CountSqlError(const std::string& pattern);
 void CountFalsePositive(const std::string& pattern);
 void CountTimeout(const std::string& pattern);
+void CountLogicCheck(const std::string& pattern);
+void CountLogicBug(const std::string& pattern);
 
 // Process-global named histograms for one-off timings that outlive any
 // campaign (e.g. the study-corpus build, bench harness phases). Guarded by
@@ -265,6 +271,8 @@ inline void CountBugDeduped(const std::string&) {}
 inline void CountSqlError(const std::string&) {}
 inline void CountFalsePositive(const std::string&) {}
 inline void CountTimeout(const std::string&) {}
+inline void CountLogicCheck(const std::string&) {}
+inline void CountLogicBug(const std::string&) {}
 inline void RecordNamedLatency(std::string_view, uint64_t) {}
 inline std::map<std::string, LatencyHistogram> NamedLatencySnapshot() { return {}; }
 

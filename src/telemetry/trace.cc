@@ -224,6 +224,21 @@ void RecordStageSpan(Stage stage, uint64_t start_abs_ns, uint64_t dur_ns) {
   state->stage_spans.push_back(std::move(span));
 }
 
+ScopedOracleExecution::ScopedOracleExecution() {
+  TracerState* state = t_tracer;
+  if (state != nullptr && state->open) {
+    was_open_ = true;
+    state->open = false;
+  }
+}
+
+ScopedOracleExecution::~ScopedOracleExecution() {
+  TracerState* state = t_tracer;
+  if (was_open_ && state != nullptr) {
+    state->open = true;
+  }
+}
+
 ScopedFlightRecorder::ScopedFlightRecorder(bool enabled) {
   if (enabled) {
     t_flight = new FlightState;

@@ -168,6 +168,23 @@ void EndStatement(std::string_view outcome);
 // `start_abs_ns` is a MonotonicNowNs() reading (rebased internally).
 void RecordStageSpan(Stage stage, uint64_t start_abs_ns, uint64_t dur_ns);
 
+// Suppresses stage-span recording for the scope lifetime. The logic oracles
+// re-execute statements (EET variants, NoREC/TLP rewrites, differential
+// siblings) while the flagged statement's span is still open — those runs
+// are oracle machinery, not pipeline stages of the traced statement, and
+// recording them would duplicate the deterministic per-ordinal span IDs.
+// AnnotateStatement/EndStatement work again once the scope closes.
+class ScopedOracleExecution {
+ public:
+  ScopedOracleExecution();
+  ~ScopedOracleExecution();
+  ScopedOracleExecution(const ScopedOracleExecution&) = delete;
+  ScopedOracleExecution& operator=(const ScopedOracleExecution&) = delete;
+
+ private:
+  bool was_open_ = false;
+};
+
 // Installs the calling thread's flight ring for the scope lifetime (no ring
 // is installed when `enabled` is false — sim campaigns don't pay for it).
 class ScopedFlightRecorder {
@@ -207,6 +224,13 @@ inline void BeginStatement(int, std::string_view) {}
 inline void AnnotateStatement(std::string_view, std::string) {}
 inline void EndStatement(std::string_view) {}
 inline void RecordStageSpan(Stage, uint64_t, uint64_t) {}
+
+class ScopedOracleExecution {
+ public:
+  ScopedOracleExecution() {}
+  ScopedOracleExecution(const ScopedOracleExecution&) = delete;
+  ScopedOracleExecution& operator=(const ScopedOracleExecution&) = delete;
+};
 
 class ScopedFlightRecorder {
  public:

@@ -512,5 +512,113 @@ TEST(TelemetryJournalTest, ToJsonCarriesStagesAndPatterns) {
   EXPECT_NE(json.find("\"executed\":3"), std::string::npos);
 }
 
+TEST(TelemetryJournalTest, ToJsonCarriesLogicOracleCounters) {
+  CampaignTelemetry t;
+  t.patterns["logic-seed"].logic_checks = 5;
+  t.patterns["logic-seed"].logic_bugs = 2;
+  const std::string json = t.ToJson();
+  EXPECT_NE(json.find("\"logic_checks\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"logic_bugs\":2"), std::string::npos);
+}
+
+// A logic (--oracle) campaign's journal replays to the exact wrong-result
+// bug set with attribution, alongside the crash-bug witness stream.
+TEST(TelemetryJournalTest, LogicBugEventsReplayToExactBugSet) {
+  CampaignOptions options = TestOptions(5, 400);
+  options.stop_when_all_bugs_found = false;
+  options.logic_oracles = {"all"};
+  const CampaignResult result = RunShardedSoftCampaign("mysql", options, 1);
+  ASSERT_FALSE(result.logic_bugs.empty());
+
+  std::stringstream stream;
+  telemetry::WriteCampaignJournal(stream, options, result, 0);
+  const Result<telemetry::JournalReplay> replayed = telemetry::ReplayJournal(stream);
+  ASSERT_TRUE(replayed.ok()) << replayed.status().message();
+
+  ASSERT_EQ(replayed->logic_bugs.size(), result.logic_bugs.size());
+  std::set<int> expected_ids;
+  for (size_t i = 0; i < result.logic_bugs.size(); ++i) {
+    const FoundLogicBug& bug = result.logic_bugs[i];
+    const telemetry::JournalLogicBug& event = replayed->logic_bugs[i];
+    EXPECT_EQ(event.bug_id, bug.info.bug_id);
+    EXPECT_EQ(event.oracle, bug.oracle);
+    EXPECT_EQ(event.function, bug.info.function);
+    EXPECT_EQ(event.effect, LogicEffectName(bug.info.effect));
+    EXPECT_EQ(event.scope, LogicScopeName(bug.info.scope));
+    EXPECT_EQ(event.case_index, bug.case_index);
+    EXPECT_EQ(event.statement_index, bug.statements_until_found);
+    EXPECT_EQ(event.shard, bug.shard);
+    EXPECT_EQ(event.poc, bug.poc_sql);
+    EXPECT_EQ(event.witness, bug.witness);
+    expected_ids.insert(bug.info.bug_id);
+  }
+  EXPECT_EQ(replayed->LogicBugIds(), expected_ids);
+  EXPECT_EQ(replayed->logic_checks, result.logic_checks);
+  EXPECT_EQ(replayed->logic_divergences, result.logic_divergences);
+  EXPECT_EQ(replayed->logic_false_positives, result.logic_false_positives);
+}
+
+// Tearing the final record (the campaign_finish line) must not lose the
+// logic_bug events written before it.
+TEST(TelemetryJournalTest, LogicBugEventsSurviveTornTail) {
+  CampaignResult result;
+  result.tool = "SOFT";
+  result.dialect = "duckdb";
+  result.statements_executed = 9;
+  result.shards = 1;
+  result.shard_statements = {9};
+  result.logic_checks = 4;
+  result.logic_divergences = 1;
+  FoundLogicBug bug;
+  bug.info.bug_id = 501;
+  bug.info.function = "LENGTH";
+  bug.oracle = "eet";
+  bug.poc_sql = "SELECT LENGTH('abc')";
+  bug.witness = "SELECT COALESCE(LENGTH('abc'), LENGTH('abc'))";
+  bug.case_index = 2;
+  result.logic_bugs.push_back(bug);
+
+  std::stringstream intact;
+  telemetry::WriteCampaignJournal(intact, CampaignOptions(), result, 0);
+  const std::string full = intact.str();
+  std::stringstream torn(full.substr(0, full.size() - 7));
+  const Result<telemetry::JournalReplay> replayed = telemetry::ReplayJournal(torn);
+  ASSERT_TRUE(replayed.ok()) << replayed.status().message();
+  EXPECT_TRUE(replayed->torn_tail);
+  EXPECT_FALSE(replayed->finished);
+  ASSERT_EQ(replayed->logic_bugs.size(), 1u);
+  EXPECT_EQ(replayed->logic_bugs[0].bug_id, 501);
+  EXPECT_EQ(replayed->logic_bugs[0].oracle, "eet");
+  EXPECT_EQ(replayed->logic_bugs[0].case_index, 2);
+}
+
+TEST(TelemetryJournalTest, ReplayRejectsMalformedLogicBug) {
+  std::stringstream missing_oracle(
+      "{\"event\":\"campaign_start\",\"tool\":\"SOFT\",\"dialect\":\"duckdb\","
+      "\"seed\":1,\"budget\":10,\"shards\":1}\n"
+      "{\"event\":\"logic_bug\",\"bug_id\":501,\"function\":\"LENGTH\","
+      "\"effect\":\"truncate\",\"scope\":\"top_level_call\",\"case_index\":0,"
+      "\"statement_index\":1,\"shard\":0,\"poc\":\"SELECT 1\",\"witness\":\"w\"}\n");
+  EXPECT_FALSE(telemetry::ReplayJournal(missing_oracle).ok());
+}
+
+// Journals written before the logic oracles existed replay with zeroed
+// logic counters and no logic_bug events.
+TEST(TelemetryJournalTest, LegacyFinishLinesReplayWithZeroLogicCounters) {
+  std::stringstream legacy(
+      "{\"event\":\"campaign_start\",\"tool\":\"SOFT\",\"dialect\":\"duckdb\","
+      "\"seed\":1,\"budget\":10,\"shards\":1}\n"
+      "{\"event\":\"campaign_finish\",\"statements\":10,\"sql_errors\":2,"
+      "\"crashes_observed\":0,\"false_positives\":0,\"unique_bugs\":0,"
+      "\"functions_triggered\":3,\"branches_covered\":4,\"wall_ms\":1.000}\n");
+  const Result<telemetry::JournalReplay> replayed = telemetry::ReplayJournal(legacy);
+  ASSERT_TRUE(replayed.ok()) << replayed.status().message();
+  EXPECT_TRUE(replayed->finished);
+  EXPECT_TRUE(replayed->logic_bugs.empty());
+  EXPECT_EQ(replayed->logic_checks, 0);
+  EXPECT_EQ(replayed->logic_divergences, 0);
+  EXPECT_EQ(replayed->logic_false_positives, 0);
+}
+
 }  // namespace
 }  // namespace soft

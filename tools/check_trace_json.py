@@ -13,9 +13,13 @@ Checks, in order:
      within a small epsilon for microsecond rounding.
 
 Usage: check_trace_json.py <trace.json> [--min-spans=N]
+                           [--require-annotation=KEY[:N]]
 Exit code 0 when the trace validates, 1 otherwise (one line per violation).
 --min-spans additionally fails traces with fewer than N spans — CI uses it
 to prove a campaign actually recorded statement spans, not just structure.
+--require-annotation fails unless at least N spans (default 1) carry the
+given args key — CI uses --require-annotation=oracle_verdict to prove a
+logic-oracle campaign stamped its verdicts onto statement spans. Repeatable.
 """
 import json
 import sys
@@ -34,7 +38,7 @@ def fail(errors, message):
     errors.append(message)
 
 
-def validate(path, min_spans):
+def validate(path, min_spans, required_annotations=()):
     errors = []
     try:
         with open(path, encoding="utf-8") as f:
@@ -48,6 +52,7 @@ def validate(path, min_spans):
         return errors, 0
 
     spans = {}  # span_id -> (index, ts, dur, parent_id or None)
+    annotation_counts = {}  # args key -> number of X events carrying it
     for i, event in enumerate(events):
         if not isinstance(event, dict):
             fail(errors, f"event #{i} is not an object")
@@ -81,6 +86,8 @@ def validate(path, min_spans):
                          f"(first seen at event #{spans[span_id][0]})")
             continue
         spans[span_id] = (i, float(ts), float(dur), args.get("parent_id"))
+        for key in args:
+            annotation_counts[key] = annotation_counts.get(key, 0) + 1
 
     for span_id, (i, ts, dur, parent_id) in spans.items():
         if parent_id is None:
@@ -96,22 +103,34 @@ def validate(path, min_spans):
 
     if len(spans) < min_spans:
         fail(errors, f"trace has {len(spans)} spans, need >= {min_spans}")
+    for key, needed in required_annotations:
+        have = annotation_counts.get(key, 0)
+        if have < needed:
+            fail(errors, f"annotation '{key}' on {have} spans, need >= {needed}")
     return errors, len(spans)
 
 
 def main():
     args = [a for a in sys.argv[1:] if not a.startswith("--")]
     min_spans = 0
+    required_annotations = []
     for a in sys.argv[1:]:
         if a.startswith("--min-spans="):
             min_spans = int(a.split("=", 1)[1])
+        elif a.startswith("--require-annotation="):
+            spec = a.split("=", 1)[1]
+            key, _, count = spec.partition(":")
+            if not key:
+                print(f"bad annotation spec {a!r} (want KEY or KEY:N)")
+                return 1
+            required_annotations.append((key, int(count) if count else 1))
         elif a.startswith("--"):
             print(f"unknown flag {a}")
             return 1
     if len(args) != 1:
         print(__doc__)
         return 1
-    errors, span_count = validate(args[0], min_spans)
+    errors, span_count = validate(args[0], min_spans, required_annotations)
     print(f"checked {args[0]}: {span_count} spans, {len(errors)} violations")
     return 0 if not errors else 1
 
