@@ -1,0 +1,174 @@
+// Fleet campaign service scaling + recovery bench (supporting bench for
+// docs/ROBUSTNESS.md): runs one fixed-budget SOFT campaign through the
+// lease-based coordinator (src/fleet/) at 1/2/4 worker processes, checks
+// every worker count merges to the digest of the `--shards=units` reference
+// (the fleet determinism contract), then measures the recovery cost of a
+// chaos-killed worker — lease expiry, work stealing, and the re-run unit —
+// against the undisturbed 2-worker run. Writes BENCH_fleet.json for
+// EXPERIMENTS.md.
+//
+// Knobs: --budget=N / SOFT_BENCH_BUDGET (default 20000), --dialect=NAME /
+// SOFT_BENCH_DIALECT, --units=K / SOFT_BENCH_UNITS (default 8).
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/fleet/coordinator.h"
+#include "src/soft/chaos.h"
+#include "src/soft/soft_fuzzer.h"
+#include "src/telemetry/telemetry.h"
+
+namespace soft {
+namespace {
+
+struct FleetPoint {
+  std::string label;
+  int workers = 0;
+  double millis = 0;
+  double speedup = 1.0;
+  int worker_deaths = 0;
+  int leases_stolen = 0;
+  bool digest_match = false;
+};
+
+int RunFleetBench(const std::string& dialect, int budget, int units) {
+  CampaignOptions options;
+  options.seed = 1;
+  options.max_statements = budget;
+
+  PrintHeader("Fleet campaigns: SOFT on " + dialect + ", budget " +
+              std::to_string(budget) + ", " + std::to_string(units) +
+              " units, N worker processes");
+
+  const telemetry::WallTimer reference_timer;
+  const CampaignResult reference = RunShardedSoftCampaign(dialect, options, units);
+  const double reference_millis = reference_timer.ElapsedMs();
+  const uint64_t reference_digest = DigestCampaignResult(reference);
+  std::printf("reference: --shards=%d in %.0f ms, digest 0x%016llx\n\n", units,
+              reference_millis,
+              static_cast<unsigned long long>(reference_digest));
+
+  PrintRow({"point", "workers", "wall ms", "speedup", "deaths", "stolen",
+            "digest match"},
+           {14, 9, 12, 10, 8, 8, 14});
+
+  std::vector<FleetPoint> points;
+  bool all_match = true;
+  double one_worker_millis = 0;
+  int point_index = 0;
+  const auto run_point = [&](const std::string& label, int workers,
+                             int kill_at_unit) {
+    fleet::FleetOptions fopts;
+    fopts.socket_path = "/tmp/soft_bench_fleet_" +
+                        std::to_string(static_cast<long>(::getpid())) + "_" +
+                        std::to_string(point_index++) + ".sock";
+    fopts.workers = workers;
+    fopts.units = units;
+    fopts.lease_deadline_ms = 30000;
+    fopts.test_kill_worker_at_unit = kill_at_unit;
+
+    const telemetry::WallTimer timer;
+    const Result<fleet::FleetOutcome> outcome =
+        fleet::RunFleetCampaign(dialect, options, fopts);
+    FleetPoint point;
+    point.label = label;
+    point.workers = workers;
+    point.millis = timer.ElapsedMs();
+    if (outcome.ok()) {
+      point.worker_deaths = outcome->stats.worker_deaths;
+      point.leases_stolen = outcome->stats.leases_stolen;
+      point.digest_match =
+          DigestCampaignResult(outcome->result) == reference_digest;
+    }
+    if (workers == 1 && kill_at_unit < 0) {
+      one_worker_millis = point.millis;
+    }
+    point.speedup = point.millis > 0 ? one_worker_millis / point.millis : 0;
+    all_match = all_match && point.digest_match;
+
+    char millis_buf[32], speedup_buf[32];
+    std::snprintf(millis_buf, sizeof(millis_buf), "%.0f", point.millis);
+    std::snprintf(speedup_buf, sizeof(speedup_buf), "%.2fx", point.speedup);
+    PrintRow({point.label, std::to_string(point.workers), millis_buf, speedup_buf,
+              std::to_string(point.worker_deaths),
+              std::to_string(point.leases_stolen),
+              point.digest_match ? "yes" : "NO"},
+             {14, 9, 12, 10, 8, 8, 14});
+    points.push_back(point);
+  };
+
+  for (const int workers : {1, 2, 4}) {
+    run_point("scale", workers, /*kill_at_unit=*/-1);
+  }
+  // Recovery: the first worker is SIGKILLed at its first unit; the survivor
+  // steals the reclaimed lease. The delta against the clean 2-worker point is
+  // the cost of one worker death (respawn backoff + one re-run unit).
+  run_point("recovery", 2, /*kill_at_unit=*/0);
+
+  std::printf(
+      "(fleet wall time includes fork/exec of worker processes and the wire\n"
+      " transfer of unit results; the recovery point pays one re-run unit)\n");
+
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"fleet\",\n  \"dialect\": \"" << dialect
+       << "\",\n  \"budget\": " << budget << ",\n  \"units\": " << units
+       << ",\n  \"seed\": 1,\n  \"reference_millis\": " << reference_millis
+       << ",\n  \"points\": [\n";
+  for (size_t i = 0; i < points.size(); ++i) {
+    const FleetPoint& p = points[i];
+    json << "    {\"point\": \"" << p.label << "\", \"workers\": " << p.workers
+         << ", \"millis\": " << p.millis << ", \"speedup\": " << p.speedup
+         << ", \"worker_deaths\": " << p.worker_deaths
+         << ", \"leases_stolen\": " << p.leases_stolen
+         << ", \"digest_match\": " << (p.digest_match ? "true" : "false") << "}"
+         << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  if (!WriteBenchJson("BENCH_fleet.json", json.str())) {
+    return 1;
+  }
+
+  if (!all_match) {
+    std::fprintf(stderr, "FAIL: a fleet run diverged from the sharded reference\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace soft
+
+int main(int argc, char** argv) {
+  std::string dialect = "virtuoso";
+  int budget = 20000;
+  int units = 8;
+  if (const char* env = std::getenv("SOFT_BENCH_DIALECT")) {
+    dialect = env;
+  }
+  if (const char* env = std::getenv("SOFT_BENCH_BUDGET")) {
+    budget = std::atoi(env);
+  }
+  if (const char* env = std::getenv("SOFT_BENCH_UNITS")) {
+    units = std::atoi(env);
+  }
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--dialect=", 10) == 0) {
+      dialect = argv[i] + 10;
+    } else if (std::strncmp(argv[i], "--budget=", 9) == 0) {
+      budget = std::atoi(argv[i] + 9);
+    } else if (std::strncmp(argv[i], "--units=", 8) == 0) {
+      units = std::atoi(argv[i] + 8);
+    }
+  }
+  if (budget <= 0 || units <= 0) {
+    std::fprintf(stderr, "--budget and --units must be positive\n");
+    return 2;
+  }
+  return soft::RunFleetBench(dialect, budget, units);
+}

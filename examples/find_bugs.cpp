@@ -26,6 +26,30 @@
 //   --chaos=list              print the failpoint site inventory and exit
 //   --chaos=enumerate         run the chaos smoke oracle once per failpoint
 //                             (non-zero exit when any site's oracle fails)
+//   --chaos=fleet             run the fleet chaos oracle: each fleet.* site
+//                             armed once during a real socket campaign, the
+//                             merged digest must stay bit-identical
+//   --fleet=serve             run the campaign as a fleet coordinator: fork
+//                             --workers=<n> worker processes, lease
+//                             --units=<k> case-partition work units over
+//                             --socket=<path>, merge deterministically
+//                             (docs/ROBUSTNESS.md). With --telemetry the
+//                             coordinator streams the lease journal, and
+//                             --resume=<journal> resumes a killed coordinator
+//   --fleet=attach            attach to a serving coordinator as one extra
+//                             worker process (needs --socket)
+//   --fleet=status            print a serving coordinator's NDJSON status
+//                             snapshot and exit (needs --socket)
+//   --socket=<path>           fleet Unix-domain socket (serve default:
+//                             /tmp/soft_fleet.sock)
+//   --workers=<n>             fleet worker processes to fork (default 2;
+//                             0 = external attach workers only)
+//   --units=<k>               fleet work units (default 8); the merged
+//                             outcome digest equals --shards=<k> at any
+//                             worker count
+//   --lease-ms=<n>            fleet lease deadline (default 10000): a unit
+//                             whose worker misses heartbeats this long is
+//                             reclaimed and re-granted
 //   --shards=<k>              split the campaign across k shards (case
 //                             partitioning: the merged result is bit-identical
 //                             to the serial run at any budget)
@@ -53,6 +77,8 @@
 
 #include "src/dialects/dialects.h"
 #include "src/failpoint/failpoint.h"
+#include "src/fleet/coordinator.h"
+#include "src/fleet/worker_client.h"
 #include "src/soft/chaos.h"
 #include "src/soft/logic_oracle.h"
 #include "src/soft/resume.h"
@@ -67,9 +93,11 @@ void PrintUsage(const char* argv0) {
                "usage: %s [dialect] [budget] [--telemetry=<path>]\n"
                "          [--checkpoint-every=<n>] [--timeout-ms=<n>]\n"
                "          [--crash-mode=sim|real] [--resume=<journal>]\n"
-               "          [--chaos=<spec>|list|enumerate] [--shards=<k>]\n"
+               "          [--chaos=<spec>|list|enumerate|fleet] [--shards=<k>]\n"
                "          [--trace=<path>] [--trace-sample=<n>]\n"
-               "          [--oracle=eet|diff|norec|tlp|all[,...]]\n",
+               "          [--oracle=eet|diff|norec|tlp|all[,...]]\n"
+               "          [--fleet=serve|attach|status] [--socket=<path>]\n"
+               "          [--workers=<n>] [--units=<k>] [--lease-ms=<n>]\n",
                argv0);
 }
 
@@ -101,6 +129,25 @@ int RunChaosEnumerate(const std::string& dialect, int budget) {
                 outcome.detail.c_str());
   }
   std::printf("\n%zu sites, %s\n", report.outcomes.size(),
+              report.ok() ? "all oracles held" : "ORACLE FAILURES above");
+  return report.ok() ? 0 : 2;
+}
+
+int RunFleetChaos(const std::string& dialect, int budget) {
+  std::printf("=== fleet chaos enumeration: %s, budget %d per socket campaign ===\n\n",
+              dialect.c_str(), budget);
+  const soft::ChaosReport report =
+      soft::fleet::RunFleetChaosEnumeration(dialect, budget);
+  if (!report.compiled_in) {
+    std::printf("failpoints compiled out; nothing to inject\n");
+    return 0;
+  }
+  for (const soft::ChaosSiteOutcome& outcome : report.outcomes) {
+    std::printf("[%s] %-28s %-8s %s\n", outcome.ok ? "ok" : "FAIL",
+                outcome.failpoint.c_str(), outcome.site_class.c_str(),
+                outcome.detail.c_str());
+  }
+  std::printf("\n%zu fleet sites, %s\n", report.outcomes.size(),
               report.ok() ? "all oracles held" : "ORACLE FAILURES above");
   return report.ok() ? 0 : 2;
 }
@@ -140,10 +187,15 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::string crash_mode = "sim";
   std::string oracle_value;
+  std::string fleet_mode;
+  std::string socket_path;
   int timeout_ms = 0;
   int checkpoint_every = -1;  // -1: default (1000 with a journal, else 0)
   int trace_sample = 0;       // 0: default (1 when --trace is given, else off)
   int shards = 1;
+  int workers = 2;
+  int units = 0;
+  int lease_ms = 10000;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--telemetry=", 12) == 0) {
@@ -158,10 +210,17 @@ int main(int argc, char** argv) {
       crash_mode = argv[i] + 13;
     } else if (std::strncmp(argv[i], "--oracle=", 9) == 0) {
       oracle_value = argv[i] + 9;
+    } else if (std::strncmp(argv[i], "--fleet=", 8) == 0) {
+      fleet_mode = argv[i] + 8;
+    } else if (std::strncmp(argv[i], "--socket=", 9) == 0) {
+      socket_path = argv[i] + 9;
     } else if (ParseIntFlag(argv[i], "--timeout-ms=", &timeout_ms) ||
                ParseIntFlag(argv[i], "--checkpoint-every=", &checkpoint_every) ||
                ParseIntFlag(argv[i], "--trace-sample=", &trace_sample) ||
-               ParseIntFlag(argv[i], "--shards=", &shards)) {
+               ParseIntFlag(argv[i], "--shards=", &shards) ||
+               ParseIntFlag(argv[i], "--workers=", &workers) ||
+               ParseIntFlag(argv[i], "--units=", &units) ||
+               ParseIntFlag(argv[i], "--lease-ms=", &lease_ms)) {
       // parsed
     } else if (argv[i][0] == '-') {
       std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
@@ -188,6 +247,34 @@ int main(int argc, char** argv) {
   if (shards < 1) {
     std::fprintf(stderr, "--shards must be >= 1\n");
     return 1;
+  }
+  if (!fleet_mode.empty() && fleet_mode != "serve" && fleet_mode != "attach" &&
+      fleet_mode != "status") {
+    std::fprintf(stderr, "--fleet must be serve, attach, or status (got '%s')\n",
+                 fleet_mode.c_str());
+    return 1;
+  }
+  if ((fleet_mode == "attach" || fleet_mode == "status") && socket_path.empty()) {
+    std::fprintf(stderr, "--fleet=%s needs --socket=<path>\n", fleet_mode.c_str());
+    return 1;
+  }
+  if (fleet_mode == "serve") {
+    if (crash_mode == "real") {
+      std::fprintf(stderr,
+                   "--fleet=serve runs simulated crash realization (workers are "
+                   "already process isolation); drop --crash-mode=real\n");
+      return 1;
+    }
+    if (shards != 1) {
+      std::fprintf(stderr,
+                   "--fleet=serve partitions by --units, not --shards; drop "
+                   "--shards\n");
+      return 1;
+    }
+    if (workers < 0 || units < 0 || lease_ms <= 0) {
+      std::fprintf(stderr, "--workers/--units must be >= 0, --lease-ms > 0\n");
+      return 1;
+    }
   }
   if (trace_path.empty() && trace_sample > 0) {
     std::fprintf(stderr, "--trace-sample needs --trace=<path>\n");
@@ -235,6 +322,11 @@ int main(int argc, char** argv) {
     const int budget = positional.size() > 1 ? std::atoi(positional[1]) : 0;
     return RunChaosEnumerate(dialect, budget > 0 ? budget : 600);
   }
+  if (chaos_spec == "fleet") {
+    const std::string dialect = !positional.empty() ? positional[0] : "virtuoso";
+    const int budget = positional.size() > 1 ? std::atoi(positional[1]) : 0;
+    return RunFleetChaos(dialect, budget > 0 ? budget : 400);
+  }
   if (!chaos_spec.empty()) {
     const soft::Status armed = soft::failpoint::ArmFromSpec(chaos_spec);
     if (!armed.ok()) {
@@ -243,6 +335,23 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("chaos: armed '%s'\n", chaos_spec.c_str());
+  }
+
+  if (fleet_mode == "status") {
+    const soft::Result<std::string> payload = soft::fleet::QueryFleetStatus(socket_path);
+    if (!payload.ok()) {
+      std::fprintf(stderr, "fleet status failed: %s\n",
+                   payload.status().message().c_str());
+      return 1;
+    }
+    std::fputs(payload->c_str(), stdout);
+    return 0;
+  }
+  if (fleet_mode == "attach") {
+    soft::fleet::FleetWorkerOptions worker;
+    worker.socket_path = socket_path;
+    std::printf("fleet: attaching to %s\n", socket_path.c_str());
+    return soft::fleet::RunFleetWorker(worker);
   }
 
   soft::CampaignOptions options;
@@ -271,8 +380,9 @@ int main(int argc, char** argv) {
 
   // Streaming journal: header + live checkpoints, tail after the run. An
   // interrupted process leaves header + checkpoints = a resumable journal.
+  // A fleet coordinator owns its journal itself (lease stream + spool).
   std::ofstream journal;
-  if (!telemetry_path.empty()) {
+  if (!telemetry_path.empty() && fleet_mode.empty()) {
     journal.open(telemetry_path, std::ios::trunc);
     if (!journal) {
       std::fprintf(stderr, "cannot open journal '%s'\n", telemetry_path.c_str());
@@ -298,7 +408,76 @@ int main(int argc, char** argv) {
   soft::CampaignResult result;
   uint64_t campaign_wall_ns = 0;
 
-  if (!resume_path.empty()) {
+  if (fleet_mode == "serve") {
+    // --- fleet coordinator ---------------------------------------------------
+    soft::fleet::FleetOptions fopts;
+    fopts.socket_path = socket_path.empty() ? "/tmp/soft_fleet.sock" : socket_path;
+    fopts.workers = workers;
+    fopts.units = units;
+    fopts.lease_deadline_ms = lease_ms;
+    fopts.journal_path = !resume_path.empty() ? resume_path : telemetry_path;
+    fopts.resume = !resume_path.empty();
+    if (fopts.resume) {
+      const soft::Result<soft::fleet::FleetResumeSpec> spec =
+          soft::fleet::LoadFleetResumeSpec(resume_path);
+      if (!spec.ok()) {
+        std::fprintf(stderr, "cannot resume fleet campaign: %s\n",
+                     spec.status().message().c_str());
+        return 1;
+      }
+      dialect = spec->dialect;
+      options.seed = spec->seed;
+      options.max_statements = spec->budget;
+      fopts.units = spec->units;
+      std::printf("=== SOFT fleet campaign (resuming %s) ===\n", resume_path.c_str());
+      std::printf("target:  %s, budget %d, seed %llu, %zu of %d units already "
+                  "journaled complete\n\n",
+                  dialect.c_str(), spec->budget,
+                  static_cast<unsigned long long>(spec->seed),
+                  spec->completed.size(), spec->units);
+    } else {
+      dialect = !positional.empty() ? positional[0] : "virtuoso";
+      const int budget = positional.size() > 1 ? std::atoi(positional[1]) : 150000;
+      options.max_statements = budget;
+      if (soft::MakeDialect(dialect) == nullptr) {
+        std::fprintf(stderr, "unknown dialect '%s'; options:", dialect.c_str());
+        for (const std::string& name : soft::AllDialectNames()) {
+          std::fprintf(stderr, " %s", name.c_str());
+        }
+        std::fprintf(stderr, "\n");
+        return 1;
+      }
+      std::printf("=== SOFT fleet campaign ===\n");
+      std::printf("target:  %s, budget %d statements  [%d workers, %d units, "
+                  "socket %s]\n\n",
+                  dialect.c_str(), budget, fopts.workers,
+                  fopts.units > 0 ? fopts.units : soft::fleet::kDefaultUnits,
+                  fopts.socket_path.c_str());
+    }
+    const soft::telemetry::WallTimer timer;
+    soft::Result<soft::fleet::FleetOutcome> outcome =
+        soft::fleet::RunFleetCampaign(dialect, options, fopts);
+    campaign_wall_ns = timer.ElapsedNs();
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "fleet campaign failed: %s\n",
+                   outcome.status().message().c_str());
+      return 1;
+    }
+    const soft::fleet::FleetStats& stats = outcome->stats;
+    std::printf("fleet: %d units over %d spawned workers (%d deaths), %d leases "
+                "granted (%d stolen, %d reclaimed), %d heartbeats, %d units "
+                "resumed, %d run locally%s\n",
+                stats.units, stats.workers_spawned, stats.worker_deaths,
+                stats.leases_granted, stats.leases_stolen, stats.leases_reclaimed,
+                stats.heartbeats, stats.units_resumed, stats.units_run_locally,
+                stats.degraded_to_local ? "  [degraded to local execution]" : "");
+    if (!fopts.journal_path.empty()) {
+      std::printf("fleet journal: %s  (unit spool: %s.units)\n",
+                  fopts.journal_path.c_str(), fopts.journal_path.c_str());
+    }
+    std::printf("\n");
+    result = std::move(outcome->result);
+  } else if (!resume_path.empty()) {
     // --- resume path -------------------------------------------------------
     const soft::Result<soft::ResumeSpec> spec = soft::LoadResumeSpec(resume_path);
     if (!spec.ok()) {
@@ -457,6 +636,10 @@ int main(int argc, char** argv) {
   // never perturbs outcomes.
   std::printf("outcome digest: 0x%016llx\n",
               static_cast<unsigned long long>(soft::DigestCampaignResult(result)));
+  // Bug-inventory digest: invariant across serial, --shards=k, and fleet
+  // forms of the same campaign — the parity line the asan-fleet lane greps.
+  std::printf("bug digest: 0x%016llx\n",
+              static_cast<unsigned long long>(soft::DigestBugInventory(result)));
   if (!oracle_names.empty()) {
     // Shard-invariant digest over the logic outcome alone — CI compares this
     // line between the serial and --shards=k forms of the same campaign.

@@ -130,7 +130,7 @@ struct SiteInfo {
 // this table; Arm/ArmFromSpec reject names that are not in it, so the table
 // cannot silently drift from the instrumentation (tests/failpoint_test.cc
 // cross-checks the macro call sites against it).
-inline constexpr std::array<SiteInfo, 22> kInventory = {{
+inline constexpr std::array<SiteInfo, 27> kInventory = {{
     {"parse.enter", SiteClass::kEngine, "ParseStatement entry (src/sqlparser/parser.cc)"},
     {"parse.expr", SiteClass::kEngine, "expression parser (src/sqlparser/parser.cc)"},
     {"optimize.enter", SiteClass::kEngine, "OptimizeStatement entry (src/engine/optimizer.cc)"},
@@ -155,6 +155,17 @@ inline constexpr std::array<SiteInfo, 22> kInventory = {{
     {"worker.fork", SiteClass::kIoRetry, "worker fork (src/soft/worker.cc)"},
     {"worker.pipe_write", SiteClass::kIoRetry, "worker pipe line write (src/soft/worker.cc)"},
     {"worker.pipe_read", SiteClass::kIoRetry, "supervisor pipe read (src/soft/worker.cc)"},
+    // Fleet sites are kIoRetry: the coordinator absorbs each fault through
+    // reconnect / lease-reclaim / work-stealing, and the merged campaign
+    // stays bit-identical. Their oracles live in the fleet's own enumerator
+    // (soft::fleet::RunFleetChaosEnumeration) because the core chaos library
+    // cannot depend on the fleet library; RunChaosEnumeration reports them
+    // as delegated.
+    {"fleet.accept", SiteClass::kIoRetry, "coordinator accept (src/fleet/coordinator.cc)"},
+    {"fleet.lease_grant", SiteClass::kIoRetry, "lease GRANT send (src/fleet/coordinator.cc)"},
+    {"fleet.heartbeat_rx", SiteClass::kIoRetry, "heartbeat receive (src/fleet/coordinator.cc)"},
+    {"fleet.result_rx", SiteClass::kIoRetry, "unit result receive (src/fleet/coordinator.cc)"},
+    {"fleet.worker_spawn", SiteClass::kIoRetry, "worker spawn (src/fleet/coordinator.cc)"},
 }};
 
 // Inventory lookup; nullptr for unknown names. Header-inline so it exists in

@@ -1,0 +1,979 @@
+#include "src/fleet/coordinator.h"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/dialects/dialects.h"
+#include "src/failpoint/failpoint.h"
+#include "src/fleet/lease.h"
+#include "src/fleet/worker_client.h"
+#include "src/soft/parallel_runner.h"
+#include "src/soft/soft_fuzzer.h"
+#include "src/soft/wire.h"
+#include "src/telemetry/journal.h"
+#include "src/util/io.h"
+
+namespace soft {
+namespace fleet {
+namespace {
+
+constexpr int kJournalRing = 16;  // recent journal lines kept for STATUS
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string JoinOracles(const std::vector<std::string>& oracles) {
+  std::string joined;
+  for (const std::string& name : oracles) {
+    if (!joined.empty()) {
+      joined += ',';
+    }
+    joined += name;
+  }
+  return joined;
+}
+
+// The unit campaign options a GRANT line describes — built identically by
+// the coordinator's degrade-to-local path and by RunFleetWorker's grant
+// parser, so a unit executes bit-identically wherever it lands. Note the
+// GRANT vocabulary is the determinism-relevant subset of CampaignOptions
+// (seed, budget, partition, stop rule, watchdog deadline, oracles, trace
+// sampling); checkpoint sinks are transport-local and fuel/row limits are
+// not shipped.
+ShardPlan UnitPlan(const CampaignOptions& base, int unit, int units,
+                   int heartbeat_every) {
+  ShardPlan plan;
+  plan.shard = unit;
+  plan.options.seed = base.seed;
+  plan.options.max_statements = base.max_statements;
+  plan.options.shard_index = unit;
+  plan.options.shard_count = units;
+  plan.options.stop_when_all_bugs_found = base.stop_when_all_bugs_found;
+  plan.options.statement_limits.deadline_ms = base.statement_limits.deadline_ms;
+  plan.options.trace_sample = base.trace_sample;
+  plan.options.logic_oracles = base.logic_oracles;
+  plan.options.checkpoint_every = heartbeat_every;
+  return plan;
+}
+
+std::string EncodeGrant(const CampaignOptions& base, const std::string& dialect,
+                        int unit, int units, int heartbeat_every,
+                        uint64_t campaign_base_ns) {
+  std::string line = "GRANT " + std::to_string(unit) + " " + std::to_string(units) +
+                     " " + std::to_string(base.seed) + " " +
+                     std::to_string(base.max_statements) + " " +
+                     wire::HexEncode(dialect) + " " +
+                     std::to_string(base.stop_when_all_bugs_found ? 1 : 0) + " " +
+                     std::to_string(base.statement_limits.deadline_ms) + " " +
+                     std::to_string(base.trace_sample) + " " +
+                     std::to_string(heartbeat_every) + " " +
+                     std::to_string(campaign_base_ns) + " " +
+                     wire::HexEncode(JoinOracles(base.logic_oracles));
+  return line + "\n";
+}
+
+// Serializes a completed unit's result block for the spool (the same wire
+// records the socket carries, '\n'-framed).
+std::string SpoolEncode(const ShardResult& outcome) {
+  std::string out;
+  wire::WriteResultBlock(
+      [&out](const std::string& record) {
+        out += record;
+        out += '\n';
+        return true;
+      },
+      outcome.result, outcome.coverage);
+  return out;
+}
+
+bool SpoolDecode(const std::string& content, ShardResult& outcome) {
+  wire::ResultBlock block;
+  size_t start = 0;
+  while (start < content.size()) {
+    const size_t nl = content.find('\n', start);
+    if (nl == std::string::npos) {
+      break;  // torn tail — the atomic writer makes this unreachable, but
+              // a hand-damaged spool must not parse as complete
+    }
+    if (!wire::ConsumeResultLine(content.substr(start, nl - start), block)) {
+      return false;
+    }
+    start = nl + 1;
+  }
+  if (!block.complete) {
+    return false;
+  }
+  outcome.result = std::move(block.result);
+  outcome.coverage = std::move(block.coverage);
+  return true;
+}
+
+std::string SpoolPath(const std::string& spool_dir, int unit) {
+  return spool_dir + "/unit_" + std::to_string(unit) + ".wire";
+}
+
+// One connected peer: a worker (after HELLO), a status client, or a socket
+// we have not classified yet.
+struct Conn {
+  int fd = -1;
+  int worker = -1;  // assigned at HELLO; -1 until then
+  int64_t pid = 0;
+  bool waiting = false;        // REQ received, no unit was pending
+  int collecting_unit = -1;    // UNIT received, result block in flight
+  wire::ResultBlock block;
+  wire::LineBuffer lines;
+  int units_completed = 0;
+  bool dead = false;
+};
+
+class Coordinator {
+ public:
+  Coordinator(const std::string& dialect, const CampaignOptions& options,
+              const FleetOptions& fleet)
+      : dialect_(dialect), options_(options), fleet_(fleet) {}
+
+  Result<FleetOutcome> Run();
+
+ private:
+  // --- journal --------------------------------------------------------------
+  void JournalEmit(const std::string& line) {
+    ring_.push_back(line);
+    while (ring_.size() > kJournalRing) {
+      ring_.pop_front();
+    }
+    if (journal_.is_open()) {
+      journal_ << line;
+      journal_.flush();
+    }
+  }
+  void JournalLease(const std::string& action, int unit, int worker, int cases,
+                    uint64_t digest) {
+    telemetry::JournalLeaseEvent event;
+    event.action = action;
+    event.unit = unit;
+    event.worker = worker;
+    event.cases = cases;
+    event.unit_digest = digest;
+    std::ostringstream line;
+    telemetry::WriteLeaseEvent(line, event);
+    JournalEmit(line.str());
+  }
+  void JournalWorkerDeath(const Conn& conn, const std::string& reason) {
+    telemetry::JournalWorkerDeath event;
+    event.worker = conn.worker;
+    event.pid = conn.pid;
+    event.units_completed = conn.units_completed;
+    event.reason = reason;
+    std::ostringstream line;
+    telemetry::WriteWorkerDeathEvent(line, event);
+    JournalEmit(line.str());
+    ++stats_.worker_deaths;
+  }
+
+  // --- workers --------------------------------------------------------------
+  void SpawnWorker() {
+    // fleet.worker_spawn (chaos): the spawned worker SIGKILLs itself at its
+    // first unit's grant acknowledgement — the injected fault the
+    // lease-reclaim + work-stealing ladder must absorb.
+    const bool chaos_kill = SOFT_FAILPOINT_HIT("fleet.worker_spawn");
+    FleetWorkerOptions w;
+    w.socket_path = fleet_.socket_path;
+    w.backoff_initial_ms = fleet_.backoff_initial_ms;
+    w.backoff_max_ms = fleet_.backoff_max_ms;
+    if (chaos_kill) {
+      w.kill9_at_unit = 0;
+    }
+    if (stats_.workers_spawned == 0) {
+      if (fleet_.test_kill_worker_at_unit >= 0) {
+        w.kill9_at_unit = fleet_.test_kill_worker_at_unit;
+      }
+      if (fleet_.test_hang_worker_at_unit >= 0) {
+        w.hang_at_unit = fleet_.test_hang_worker_at_unit;
+      }
+    }
+    ++stats_.workers_spawned;
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+      ::close(listen_fd_);
+      for (const Conn& conn : conns_) {
+        if (conn.fd >= 0) {
+          ::close(conn.fd);
+        }
+      }
+      ::_exit(RunFleetWorker(w));
+    }
+    if (pid > 0) {
+      children_.insert(pid);
+    }
+  }
+
+  void ReapChildren() {
+    for (auto it = children_.begin(); it != children_.end();) {
+      int wstatus = 0;
+      if (::waitpid(*it, &wstatus, WNOHANG) == *it) {
+        it = children_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  int WorkerConnCount() const {
+    int n = 0;
+    for (const Conn& conn : conns_) {
+      n += (!conn.dead && conn.worker >= 0) ? 1 : 0;
+    }
+    return n;
+  }
+
+  // --- lease/grant ----------------------------------------------------------
+  void TryGrant(Conn& conn) {
+    if (conn.worker < 0 || conn.dead) {
+      return;
+    }
+    const uint64_t now = telemetry::MonotonicNowNs();
+    const int unit = table_->Grant(conn.worker, now, lease_ns_);
+    if (unit < 0) {
+      conn.waiting = !table_->AllDone();
+      return;
+    }
+    conn.waiting = false;
+    const bool stolen = table_->Snapshot()[unit].reclaimed;
+    JournalLease(stolen ? "steal" : "grant", unit, conn.worker, 0, 0);
+    // fleet.lease_grant (chaos): the grant send fails — the connection drops,
+    // the fresh lease is reclaimed immediately, and the worker reconnects.
+    if (SOFT_FAILPOINT_HIT("fleet.lease_grant")) {
+      DropConn(conn, "lease_grant fault injected");
+      return;
+    }
+    io::RetryingWriter writer(conn.fd);
+    if (!writer
+             .WriteAll(EncodeGrant(options_, dialect_, unit, units_,
+                                   fleet_.heartbeat_every, campaign_base_ns_))
+             .ok()) {
+      DropConn(conn, "grant write failed");
+    }
+  }
+
+  void GrantWaiting() {
+    for (Conn& conn : conns_) {
+      if (!conn.dead && conn.waiting) {
+        TryGrant(conn);
+      }
+    }
+  }
+
+  void DropConn(Conn& conn, const std::string& reason) {
+    if (conn.dead) {
+      return;
+    }
+    conn.dead = true;
+    ::close(conn.fd);
+    conn.fd = -1;
+    if (conn.worker >= 0) {
+      JournalWorkerDeath(conn, reason);
+      for (const int unit : table_->ReclaimWorker(conn.worker)) {
+        JournalLease("reclaim", unit, conn.worker, 0, 0);
+      }
+    }
+  }
+
+  // --- result intake --------------------------------------------------------
+  void AcceptUnit(Conn& conn) {
+    const int unit = conn.collecting_unit;
+    conn.collecting_unit = -1;
+    ShardResult outcome;
+    outcome.result = std::move(conn.block.result);
+    outcome.coverage = std::move(conn.block.coverage);
+    conn.block = wire::ResultBlock();
+    if (!table_->Complete(unit, conn.worker)) {
+      return;  // stale lease (unit was reclaimed and completed elsewhere)
+    }
+    ++conn.units_completed;
+    CommitUnit(unit, conn.worker, std::move(outcome));
+  }
+
+  void CommitUnit(int unit, int worker, ShardResult outcome) {
+    const uint64_t digest = DigestCampaignResult(outcome.result);
+    const int cases = outcome.result.statements_executed;
+    if (!spool_dir_.empty()) {
+      // Spool before journal: the `complete` record is the commit point a
+      // resume trusts, so the bytes it vouches for must already be durable.
+      static_cast<void>(io::WriteFileAtomic(SpoolPath(spool_dir_, unit),
+                                            SpoolEncode(outcome)));
+    }
+    JournalLease("complete", unit, worker, cases, digest);
+    results_[unit] = std::move(outcome);
+    ++stats_.units_completed;
+  }
+
+  // --- per-line protocol dispatch -------------------------------------------
+  void ProcessLine(Conn& conn, const std::string& line) {
+    if (conn.collecting_unit >= 0) {
+      if (!wire::ConsumeResultLine(line, conn.block)) {
+        DropConn(conn, "malformed result block");
+        return;
+      }
+      if (conn.block.complete) {
+        AcceptUnit(conn);
+      }
+      return;
+    }
+    std::istringstream in(line);
+    std::string tag;
+    in >> tag;
+    if (tag == "HELLO") {
+      int64_t pid = 0;
+      in >> pid;
+      conn.worker = next_worker_++;
+      conn.pid = pid;
+    } else if (tag == "REQ") {
+      if (conn.worker < 0) {
+        DropConn(conn, "REQ before HELLO");
+        return;
+      }
+      TryGrant(conn);
+      if (!conn.dead && table_->AllDone()) {
+        FinishConn(conn);
+      }
+    } else if (tag == "HB") {
+      int unit = 0, cases = 0;
+      in >> unit >> cases;
+      // fleet.heartbeat_rx (chaos): the heartbeat is lost in transit — the
+      // lease deadline is simply not refreshed this round.
+      if (SOFT_FAILPOINT_HIT("fleet.heartbeat_rx")) {
+        return;
+      }
+      const uint64_t now = telemetry::MonotonicNowNs();
+      table_->Heartbeat(unit, conn.worker, cases, now, lease_ns_);
+    } else if (tag == "UNIT") {
+      int unit = 0;
+      in >> unit;
+      // fleet.result_rx (chaos): the connection dies at the result header —
+      // the finished unit is lost with it, reclaimed, and re-run.
+      if (SOFT_FAILPOINT_HIT("fleet.result_rx")) {
+        DropConn(conn, "result_rx fault injected");
+        return;
+      }
+      conn.collecting_unit = unit;
+      conn.block = wire::ResultBlock();
+    } else if (tag == "STATUS") {
+      SendStatus(conn);
+      conn.dead = true;
+      ::close(conn.fd);
+      conn.fd = -1;
+    } else {
+      DropConn(conn, "unknown protocol line");
+    }
+  }
+
+  void FinishConn(Conn& conn) {
+    io::RetryingWriter writer(conn.fd);
+    static_cast<void>(writer.WriteAll("FIN\n"));
+    conn.dead = true;
+    ::close(conn.fd);
+    conn.fd = -1;
+  }
+
+  // --- status endpoint ------------------------------------------------------
+  void SendStatus(Conn& conn) {
+    std::string out;
+    out += "{\"event\":\"fleet_status\",\"dialect\":\"" + EscapeJson(dialect_) +
+           "\",\"units\":" + std::to_string(units_) +
+           ",\"pending\":" + std::to_string(table_->pending()) +
+           ",\"leased\":" + std::to_string(table_->leased()) +
+           ",\"done\":" + std::to_string(table_->done()) +
+           ",\"workers_live\":" + std::to_string(WorkerConnCount()) +
+           ",\"workers_spawned\":" + std::to_string(stats_.workers_spawned) +
+           ",\"worker_deaths\":" + std::to_string(stats_.worker_deaths) +
+           ",\"leases_granted\":" + std::to_string(table_->counters().granted) +
+           ",\"leases_reclaimed\":" + std::to_string(table_->counters().reclaimed) +
+           ",\"leases_stolen\":" + std::to_string(table_->counters().stolen) +
+           ",\"heartbeats\":" + std::to_string(table_->counters().heartbeats) +
+           ",\"units_completed\":" + std::to_string(stats_.units_completed) +
+           ",\"units_run_locally\":" + std::to_string(stats_.units_run_locally) +
+           ",\"units_resumed\":" + std::to_string(stats_.units_resumed) + "}\n";
+    for (const Conn& worker : conns_) {
+      if (worker.dead || worker.worker < 0) {
+        continue;
+      }
+      out += "{\"event\":\"fleet_worker\",\"worker\":" + std::to_string(worker.worker) +
+             ",\"pid\":" + std::to_string(worker.pid) +
+             ",\"units_completed\":" + std::to_string(worker.units_completed) +
+             ",\"collecting\":" + std::to_string(worker.collecting_unit) + "}\n";
+    }
+    for (const LeaseView& view : table_->Snapshot()) {
+      const char* state = view.state == UnitState::kPending  ? "pending"
+                          : view.state == UnitState::kLeased ? "leased"
+                                                             : "done";
+      out += "{\"event\":\"fleet_unit\",\"unit\":" + std::to_string(view.unit) +
+             ",\"state\":\"" + state +
+             "\",\"worker\":" + std::to_string(view.worker) +
+             ",\"cases\":" + std::to_string(view.cases) +
+             ",\"reclaimed\":" + (view.reclaimed ? std::string("true") : "false") +
+             "}\n";
+    }
+    // Per-pattern telemetry of the units merged so far (deterministic sums;
+    // empty under -DSOFT_TELEMETRY=OFF).
+    std::map<std::string, telemetry::PatternCounters> patterns;
+    for (const std::optional<ShardResult>& outcome : results_) {
+      if (!outcome.has_value()) {
+        continue;
+      }
+      for (const auto& [pattern, counters] : outcome->result.telemetry.patterns) {
+        telemetry::PatternCounters& sum = patterns[pattern];
+        sum.generated += counters.generated;
+        sum.executed += counters.executed;
+        sum.crashes += counters.crashes;
+        sum.bugs_deduped += counters.bugs_deduped;
+        sum.sql_errors += counters.sql_errors;
+        sum.false_positives += counters.false_positives;
+        sum.timeouts += counters.timeouts;
+        sum.logic_checks += counters.logic_checks;
+        sum.logic_bugs += counters.logic_bugs;
+      }
+    }
+    for (const auto& [pattern, counters] : patterns) {
+      out += "{\"event\":\"fleet_pattern\",\"pattern\":\"" + EscapeJson(pattern) +
+             "\",\"executed\":" + std::to_string(counters.executed) +
+             ",\"crashes\":" + std::to_string(counters.crashes) +
+             ",\"bugs_deduped\":" + std::to_string(counters.bugs_deduped) +
+             ",\"logic_checks\":" + std::to_string(counters.logic_checks) +
+             ",\"logic_bugs\":" + std::to_string(counters.logic_bugs) + "}\n";
+    }
+    for (const std::string& line : ring_) {
+      std::string stripped = line;
+      while (!stripped.empty() && stripped.back() == '\n') {
+        stripped.pop_back();
+      }
+      out += "{\"event\":\"fleet_recent\",\"line\":\"" + EscapeJson(stripped) + "\"}\n";
+    }
+    out += "{\"event\":\"fleet_status_end\"}\n";
+    io::RetryingWriter writer(conn.fd);
+    static_cast<void>(writer.WriteAll(out));
+  }
+
+  // --- degrade ladder -------------------------------------------------------
+  void RunRemainingLocally() {
+    stats_.degraded_to_local = true;
+    JournalEmit("{\"event\":\"lease\",\"action\":\"local\",\"unit\":-1,"
+                "\"worker\":-1,\"cases\":0,\"unit_digest\":0}\n");
+    for (const LeaseView& view : table_->Snapshot()) {
+      if (view.state == UnitState::kDone) {
+        continue;
+      }
+      const ShardPlan plan =
+          UnitPlan(options_, view.unit, units_, fleet_.heartbeat_every);
+      ShardResult outcome = ExecuteShardPlan(
+          [] { return std::unique_ptr<Fuzzer>(new SoftFuzzer()); },
+          [this] { return MakeDialect(dialect_); }, plan, WorkerOptions{},
+          campaign_base_ns_);
+      table_->ForceComplete(view.unit, -1);
+      ++stats_.units_run_locally;
+      CommitUnit(view.unit, -1, std::move(outcome));
+    }
+  }
+
+  // --- resume ---------------------------------------------------------------
+  Status AdmitSpooledUnits() {
+    SOFT_ASSIGN_OR_RETURN(FleetResumeSpec spec,
+                          LoadFleetResumeSpec(fleet_.journal_path));
+    if (spec.dialect != dialect_ || spec.seed != options_.seed ||
+        spec.budget != options_.max_statements || spec.units != units_) {
+      return InvalidArgument(
+          "fleet resume rejected: journal campaign (" + spec.dialect + ", seed " +
+          std::to_string(spec.seed) + ", budget " + std::to_string(spec.budget) +
+          ", units " + std::to_string(spec.units) +
+          ") does not match this invocation");
+    }
+    for (const auto& [unit, digest] : spec.completed) {
+      if (unit < 0 || unit >= units_) {
+        continue;
+      }
+      std::ifstream in(SpoolPath(spool_dir_, unit), std::ios::binary);
+      std::ostringstream content;
+      content << in.rdbuf();
+      ShardResult outcome;
+      if (!in || !SpoolDecode(content.str(), outcome) ||
+          DigestCampaignResult(outcome.result) != digest) {
+        ++stats_.units_spool_diverged;
+        continue;  // distrust the spool; the unit re-runs deterministically
+      }
+      table_->ForceComplete(unit, -1);
+      results_[unit] = std::move(outcome);
+      ++stats_.units_completed;
+      ++stats_.units_resumed;
+    }
+    return OkStatus();
+  }
+
+  const std::string dialect_;
+  const CampaignOptions options_;
+  const FleetOptions fleet_;
+  int units_ = 0;
+  uint64_t lease_ns_ = 0;
+  uint64_t campaign_base_ns_ = 0;
+  std::string spool_dir_;
+  std::ofstream journal_;
+  std::deque<std::string> ring_;
+  std::optional<LeaseTable> table_;
+  std::vector<std::optional<ShardResult>> results_;
+  std::vector<Conn> conns_;
+  std::set<pid_t> children_;
+  int listen_fd_ = -1;
+  int next_worker_ = 0;
+  FleetStats stats_;
+};
+
+Result<FleetOutcome> Coordinator::Run() {
+  if (MakeDialect(dialect_) == nullptr) {
+    return InvalidArgument("unknown dialect '" + dialect_ + "'");
+  }
+  if (options_.crash_realism != CrashRealism::kSimulated) {
+    return InvalidArgument(
+        "fleet campaigns run simulated crash realization (workers are already "
+        "process isolation); drop --crash-mode=real");
+  }
+  if (fleet_.socket_path.empty()) {
+    return InvalidArgument("fleet: socket_path is required");
+  }
+  sockaddr_un addr;
+  if (fleet_.socket_path.size() >= sizeof(addr.sun_path)) {
+    return InvalidArgument("fleet: socket path too long: " + fleet_.socket_path);
+  }
+  if (fleet_.resume && fleet_.journal_path.empty()) {
+    return InvalidArgument("fleet: resume needs a journal_path");
+  }
+
+  io::IgnoreSigpipe();
+
+  units_ = fleet_.units > 0 ? fleet_.units : kDefaultUnits;
+  lease_ns_ = static_cast<uint64_t>(std::max(fleet_.lease_deadline_ms, 1)) * 1000000ull;
+  spool_dir_ = fleet_.spool_dir;
+  if (spool_dir_.empty() && !fleet_.journal_path.empty()) {
+    spool_dir_ = fleet_.journal_path + ".units";
+  }
+  if (!spool_dir_.empty()) {
+    ::mkdir(spool_dir_.c_str(), 0755);
+  }
+  stats_.units = units_;
+  table_.emplace(units_);
+  results_.resize(units_);
+
+  if (fleet_.resume) {
+    if (Status admitted = AdmitSpooledUnits(); !admitted.ok()) {
+      return admitted;
+    }
+  }
+
+  if (!fleet_.journal_path.empty()) {
+    journal_.open(fleet_.journal_path,
+                  fleet_.resume ? std::ios::app : std::ios::trunc);
+    if (!journal_) {
+      return IoError("fleet: cannot open journal '" + fleet_.journal_path + "'");
+    }
+  }
+  if (journal_.is_open() && !fleet_.resume) {
+    std::ostringstream header;
+    telemetry::WriteCampaignStart(header, options_, "SOFT", dialect_, units_);
+    JournalEmit(header.str());
+  }
+  if (fleet_.resume) {
+    int resumed_cases = 0;
+    for (const std::optional<ShardResult>& outcome : results_) {
+      resumed_cases += outcome.has_value() ? outcome->result.statements_executed : 0;
+    }
+    std::ostringstream marker;
+    telemetry::WriteResumeMarker(marker, resumed_cases);
+    JournalEmit(marker.str());
+    for (const LeaseView& view : table_->Snapshot()) {
+      if (view.state == UnitState::kDone) {
+        JournalLease("resume", view.unit, -1, 0,
+                     DigestCampaignResult(results_[view.unit]->result));
+      }
+    }
+  }
+
+  campaign_base_ns_ = telemetry::MonotonicNowNs();
+
+  // --- listener --------------------------------------------------------------
+  ::unlink(fleet_.socket_path.c_str());
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return IoError("fleet: socket() failed");
+  }
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, fleet_.socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    ::close(listen_fd_);
+    return IoError("fleet: cannot bind/listen on '" + fleet_.socket_path + "'");
+  }
+
+  for (int i = 0; i < fleet_.workers && !table_->AllDone(); ++i) {
+    SpawnWorker();
+  }
+
+  int respawns_used = 0;
+  int spawn_backoff_ms = fleet_.backoff_initial_ms;
+  uint64_t next_spawn_ns = 0;
+  uint64_t pool_empty_since = 0;
+
+  while (!table_->AllDone()) {
+    ReapChildren();
+    const uint64_t now = telemetry::MonotonicNowNs();
+
+    // Expired leases: reclaim, and SIGKILL a hung local worker that still
+    // holds a live connection (it stopped heartbeating; it will not recover).
+    const std::vector<LeaseView> before = table_->Snapshot();
+    for (const int unit : table_->ReclaimExpired(now)) {
+      const int holder = before[unit].worker;
+      JournalLease("reclaim", unit, holder, before[unit].cases, 0);
+      for (Conn& conn : conns_) {
+        if (!conn.dead && conn.worker == holder) {
+          if (conn.pid > 0 && children_.count(static_cast<pid_t>(conn.pid)) > 0) {
+            ::kill(static_cast<pid_t>(conn.pid), SIGKILL);
+          }
+          DropConn(conn, "lease expired");
+        }
+      }
+    }
+
+    // Pool maintenance: respawn dead local workers with bounded exponential
+    // backoff; once the respawn budget is spent (or workers == 0 and nothing
+    // attached) and the pool stays empty past the lease deadline, degrade to
+    // local execution — the campaign always completes.
+    const bool pool_empty = children_.empty() && WorkerConnCount() == 0;
+    const bool can_respawn =
+        fleet_.workers > 0 && respawns_used < fleet_.max_worker_respawns;
+    if (static_cast<int>(children_.size()) < fleet_.workers && can_respawn) {
+      if (next_spawn_ns == 0) {
+        next_spawn_ns = now + static_cast<uint64_t>(spawn_backoff_ms) * 1000000ull;
+      } else if (now >= next_spawn_ns) {
+        SpawnWorker();
+        ++respawns_used;
+        spawn_backoff_ms = std::min(spawn_backoff_ms * 2, fleet_.backoff_max_ms);
+        next_spawn_ns = 0;
+      }
+    } else {
+      next_spawn_ns = 0;
+      if (static_cast<int>(children_.size()) >= fleet_.workers && fleet_.workers > 0) {
+        spawn_backoff_ms = fleet_.backoff_initial_ms;
+      }
+    }
+    if (pool_empty && !can_respawn) {
+      if (pool_empty_since == 0) {
+        pool_empty_since = now;
+      } else if (now - pool_empty_since >= lease_ns_) {
+        RunRemainingLocally();
+        break;
+      }
+    } else {
+      pool_empty_since = 0;
+    }
+
+    // Poll: listener + live connections, bounded by the nearest timer.
+    std::vector<pollfd> fds;
+    fds.push_back({listen_fd_, POLLIN, 0});
+    // Indices, not pointers: the accept branch below push_backs into conns_,
+    // which may reallocate.
+    std::vector<size_t> polled;
+    for (size_t i = 0; i < conns_.size(); ++i) {
+      if (!conns_[i].dead) {
+        fds.push_back({conns_[i].fd, POLLIN, 0});
+        polled.push_back(i);
+      }
+    }
+    int timeout_ms = 100;
+    const uint64_t deadline = table_->NextDeadlineNs();
+    if (deadline > now) {
+      timeout_ms = std::min<int>(timeout_ms,
+                                 static_cast<int>((deadline - now) / 1000000ull) + 1);
+    }
+    if (next_spawn_ns > now) {
+      timeout_ms = std::min<int>(
+          timeout_ms, static_cast<int>((next_spawn_ns - now) / 1000000ull) + 1);
+    }
+    const int ready = ::poll(fds.data(), fds.size(), std::max(timeout_ms, 1));
+    if (ready < 0 && errno != EINTR) {
+      break;
+    }
+
+    if (fds[0].revents & POLLIN) {
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd >= 0) {
+        // fleet.accept (chaos): the freshly accepted connection dies before
+        // its first byte — the worker reconnects with backoff.
+        if (SOFT_FAILPOINT_HIT("fleet.accept")) {
+          ::close(fd);
+        } else {
+          Conn conn;
+          conn.fd = fd;
+          conns_.push_back(std::move(conn));
+        }
+      }
+    }
+    for (size_t i = 0; i < polled.size(); ++i) {
+      if (!(fds[i + 1].revents & (POLLIN | POLLHUP | POLLERR))) {
+        continue;
+      }
+      Conn& conn = conns_[polled[i]];
+      if (conn.dead) {
+        continue;
+      }
+      char chunk[65536];
+      const int64_t n = io::ReadRetrying(conn.fd, chunk, sizeof(chunk));
+      if (n <= 0) {
+        DropConn(conn, "eof");
+        continue;
+      }
+      conn.lines.Append(chunk, static_cast<size_t>(n));
+      std::string line;
+      while (!conn.dead && conn.lines.Next(line)) {
+        ProcessLine(conn, line);
+      }
+    }
+
+    GrantWaiting();
+    conns_.erase(std::remove_if(conns_.begin(), conns_.end(),
+                                [](const Conn& conn) { return conn.dead; }),
+                 conns_.end());
+  }
+
+  // --- shutdown --------------------------------------------------------------
+  for (Conn& conn : conns_) {
+    if (!conn.dead) {
+      FinishConn(conn);
+    }
+  }
+  ::close(listen_fd_);
+  ::unlink(fleet_.socket_path.c_str());
+  ReapChildren();
+  for (const pid_t pid : children_) {
+    ::kill(pid, SIGKILL);
+  }
+  for (const pid_t pid : children_) {
+    int wstatus = 0;
+    ::waitpid(pid, &wstatus, 0);
+  }
+  children_.clear();
+
+  const LeaseCounters& counters = table_->counters();
+  stats_.leases_granted = counters.granted;
+  stats_.leases_reclaimed = counters.reclaimed;
+  stats_.leases_stolen = counters.stolen;
+  stats_.heartbeats = counters.heartbeats;
+
+  std::vector<ShardResult> outcomes;
+  outcomes.reserve(units_);
+  for (std::optional<ShardResult>& outcome : results_) {
+    if (!outcome.has_value()) {
+      return Internal("fleet: campaign finished with an unexecuted unit");
+    }
+    outcomes.push_back(std::move(*outcome));
+  }
+  FleetOutcome fleet_outcome;
+  fleet_outcome.result = MergeShardResults(std::move(outcomes));
+  fleet_outcome.stats = stats_;
+
+  if (journal_.is_open()) {
+    telemetry::JournalFleetFinish fin;
+    fin.units = stats_.units;
+    fin.workers_spawned = stats_.workers_spawned;
+    fin.worker_deaths = stats_.worker_deaths;
+    fin.leases_granted = stats_.leases_granted;
+    fin.leases_reclaimed = stats_.leases_reclaimed;
+    fin.leases_stolen = stats_.leases_stolen;
+    fin.heartbeats = stats_.heartbeats;
+    fin.units_completed = stats_.units_completed;
+    fin.units_run_locally = stats_.units_run_locally;
+    fin.units_resumed = stats_.units_resumed;
+    fin.units_spool_diverged = stats_.units_spool_diverged;
+    fin.degraded_to_local = stats_.degraded_to_local;
+    std::ostringstream tail;
+    telemetry::WriteFleetFinishEvent(tail, fin);
+    telemetry::WriteCampaignTail(
+        tail, fleet_outcome.result,
+        telemetry::MonotonicNowNs() - campaign_base_ns_);
+    JournalEmit(tail.str());
+  }
+  return fleet_outcome;
+}
+
+}  // namespace
+
+Result<FleetOutcome> RunFleetCampaign(const std::string& dialect,
+                                      const CampaignOptions& options,
+                                      const FleetOptions& fleet) {
+  Coordinator coordinator(dialect, options, fleet);
+  return coordinator.Run();
+}
+
+Result<FleetResumeSpec> LoadFleetResumeSpec(const std::string& journal_path) {
+  SOFT_ASSIGN_OR_RETURN(telemetry::JournalReplay replay,
+                        telemetry::ReplayJournalFile(journal_path));
+  if (replay.tool != "SOFT") {
+    return InvalidArgument("fleet resume only replays SOFT journals (journal tool: '" +
+                           replay.tool + "')");
+  }
+  FleetResumeSpec spec;
+  spec.dialect = replay.dialect;
+  spec.seed = replay.seed;
+  spec.budget = replay.budget;
+  spec.units = replay.shards;
+  spec.finished = replay.finished;
+  for (const telemetry::JournalLeaseEvent& event : replay.lease_events) {
+    if (event.action == "complete" || event.action == "resume") {
+      spec.completed[event.unit] = event.unit_digest;
+    }
+  }
+  return spec;
+}
+
+Result<std::string> QueryFleetStatus(const std::string& socket_path) {
+  io::IgnoreSigpipe();
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    return InvalidArgument("socket path too long: " + socket_path);
+  }
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return IoError("socket() failed");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return IoError("no fleet coordinator listening on '" + socket_path + "'");
+  }
+  io::RetryingWriter writer(fd);
+  if (!writer.WriteAll("STATUS\n").ok()) {
+    ::close(fd);
+    return IoError("status request failed");
+  }
+  std::string payload;
+  char chunk[4096];
+  for (;;) {
+    const int64_t n = io::ReadRetrying(fd, chunk, sizeof(chunk));
+    if (n <= 0) {
+      break;
+    }
+    payload.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return payload;
+}
+
+ChaosReport RunFleetChaosEnumeration(const std::string& dialect, int budget) {
+  ChaosReport report;
+  report.compiled_in = failpoint::kCompiledIn;
+  report.dialect = dialect;
+  report.budget = budget > 0 ? budget : 400;
+  if (!report.compiled_in) {
+    return report;
+  }
+  CampaignOptions options;
+  options.seed = 20260807;
+  options.max_statements = report.budget;
+  const int units = 4;
+  failpoint::DisarmAll();
+  const CampaignResult reference = RunShardedSoftCampaign(dialect, options, units);
+  const uint64_t reference_digest = DigestCampaignResult(reference);
+
+  int site_index = 0;
+  for (const failpoint::SiteInfo& site : failpoint::kInventory) {
+    if (std::string_view(site.name).rfind("fleet.", 0) != 0) {
+      continue;
+    }
+    ChaosSiteOutcome outcome;
+    outcome.failpoint = std::string(site.name);
+    outcome.site_class = std::string(failpoint::SiteClassName(site.site_class));
+    outcome.spec = outcome.failpoint + "=after:0:1";
+    outcome.ran = true;
+
+    FleetOptions fleet;
+    fleet.socket_path = "/tmp/soft_flc_" +
+                        std::to_string(static_cast<long>(::getpid())) + "_" +
+                        std::to_string(site_index++) + ".sock";
+    fleet.workers = 2;
+    fleet.units = units;
+    fleet.heartbeat_every = 50;
+    fleet.lease_deadline_ms = 2000;
+
+    failpoint::DisarmAll();
+    if (Status armed = failpoint::ArmFromSpec(outcome.spec); !armed.ok()) {
+      outcome.detail = "arm failed: " + armed.ToString();
+      report.outcomes.push_back(outcome);
+      continue;
+    }
+    const Result<FleetOutcome> injected = RunFleetCampaign(dialect, options, fleet);
+    failpoint::DisarmAll();
+    if (!injected.ok()) {
+      outcome.detail = "fleet campaign failed: " + injected.status().ToString();
+      report.outcomes.push_back(outcome);
+      continue;
+    }
+    if (DigestCampaignResult(injected->result) != reference_digest) {
+      outcome.detail = "merged digest diverged from the uninjected sharded reference";
+      report.outcomes.push_back(outcome);
+      continue;
+    }
+    if (outcome.failpoint == "fleet.worker_spawn" &&
+        injected->stats.worker_deaths == 0) {
+      outcome.detail = "chaos-killed worker never died (injection lost?)";
+      report.outcomes.push_back(outcome);
+      continue;
+    }
+    outcome.ok = true;
+    outcome.detail =
+        "fault absorbed by the lease/steal/respawn ladder; digest bit-identical (" +
+        std::to_string(injected->stats.worker_deaths) + " worker death(s), " +
+        std::to_string(injected->stats.leases_reclaimed) + " lease(s) reclaimed)";
+    report.outcomes.push_back(outcome);
+  }
+  failpoint::DisarmAll();
+  return report;
+}
+
+}  // namespace fleet
+}  // namespace soft

@@ -1,0 +1,151 @@
+// Fleet coordinator: lease-based campaign distribution over a Unix-domain
+// socket (docs/ROBUSTNESS.md).
+//
+// RunFleetCampaign promotes one SOFT campaign into a coordinator process
+// that partitions the case order into `units` fixed work units (shards of a
+// ShardMode::kPartitionCases plan — the unit count, not the worker count,
+// defines the partition), leases them to worker processes speaking the
+// src/fleet/worker_client.h line protocol, and merges the returned unit
+// results with the deterministic shard merge. Consequences, all by
+// construction:
+//
+//   * the merged outcome digest is bit-identical to `--shards=units` at any
+//     worker count, and the bug-inventory digest (DigestBugInventory) is
+//     bit-identical to the plain serial campaign;
+//   * a worker crash loses nothing: its leases expire (missed heartbeats)
+//     or are reclaimed on disconnect, surviving workers steal the units,
+//     and the re-executed unit produces the identical result;
+//   * the coordinator journals every lease transition (NDJSON `lease`,
+//     `worker_death`, `fleet_finish` events — docs/OBSERVABILITY.md) and
+//     spools completed unit results crash-atomically, so `resume = true`
+//     after a coordinator kill -9 re-admits spooled units whose recomputed
+//     digest matches the journal and re-runs only the rest.
+//
+// Degrade ladder when the worker pool collapses (respawn budget exhausted,
+// or workers == 0 and nothing attached within the lease deadline): the
+// coordinator runs the remaining units in-process via ExecuteShardPlan —
+// the campaign always completes, merely slower.
+//
+// A read-only STATUS request on the same socket streams an NDJSON snapshot
+// (campaign counters, per-pattern telemetry of merged-so-far units,
+// worker/lease state, recent journal events) and closes.
+#ifndef SRC_FLEET_COORDINATOR_H_
+#define SRC_FLEET_COORDINATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/soft/campaign.h"
+#include "src/soft/chaos.h"
+#include "src/util/status.h"
+
+namespace soft {
+namespace fleet {
+
+inline constexpr int kDefaultUnits = 8;
+
+struct FleetOptions {
+  std::string socket_path;
+  // Local worker processes to fork (0 = serve external attach workers only;
+  // the campaign degrades to local execution if none attach in time).
+  int workers = 2;
+  // Work units the campaign is partitioned into (0 → kDefaultUnits). The
+  // unit count — not the worker count — defines the case partition, so the
+  // merged result is invariant under the worker count.
+  int units = 0;
+  // Worker heartbeat cadence in executed cases (becomes the unit campaign's
+  // checkpoint_every).
+  int heartbeat_every = 200;
+  // Lease deadline: a leased unit whose worker misses heartbeats for this
+  // long is reclaimed and re-granted (work stealing).
+  int lease_deadline_ms = 10000;
+  // Worker deaths the coordinator will answer with a respawn (bounded
+  // exponential backoff) before giving up on the pool.
+  int max_worker_respawns = 4;
+  int backoff_initial_ms = 5;
+  int backoff_max_ms = 200;
+  // NDJSON journal the coordinator streams lease state to (empty = none;
+  // resume requires one). docs/OBSERVABILITY.md documents the events.
+  std::string journal_path;
+  // Spool directory for completed unit results (wire blocks, written
+  // crash-atomically). Empty defaults to journal_path + ".units" when a
+  // journal is configured, else no spool (resume then re-runs everything).
+  std::string spool_dir;
+  // Resume a coordinator killed mid-campaign from journal_path: spooled
+  // units whose digest matches the journaled lease record are re-admitted,
+  // the rest re-run. The merged result is bit-identical to an uninterrupted
+  // run either way.
+  bool resume = false;
+
+  // --- Test hooks (tests/fleet_test.cc): the first spawned worker gets the
+  // corresponding worker_client chaos knob, ordinal = the value.
+  int test_kill_worker_at_unit = -1;
+  int test_hang_worker_at_unit = -1;
+};
+
+struct FleetStats {
+  int units = 0;
+  int workers_spawned = 0;
+  int worker_deaths = 0;
+  int leases_granted = 0;
+  int leases_reclaimed = 0;
+  int leases_stolen = 0;
+  int heartbeats = 0;
+  int units_completed = 0;     // accepted unit results (any executor)
+  int units_run_locally = 0;   // executed in-process on the degrade path
+  int units_resumed = 0;       // re-admitted from the spool on resume
+  int units_spool_diverged = 0;  // spool digest mismatches (re-run instead)
+  bool degraded_to_local = false;
+};
+
+struct FleetOutcome {
+  CampaignResult result;
+  FleetStats stats;
+};
+
+// Runs one fleet campaign: SOFT against MakeDialect(`dialect`), coordinator
+// in-process, workers forked (plus any external attachers). `options` is the
+// campaign spec shipped to workers inside GRANT lines; its checkpoint_sink /
+// checkpoint_every are ignored (heartbeats ride that mechanism) and
+// crash_realism must be kSimulated — fleet workers are already process
+// isolation. Blocks until the merged campaign completes.
+Result<FleetOutcome> RunFleetCampaign(const std::string& dialect,
+                                      const CampaignOptions& options,
+                                      const FleetOptions& fleet);
+
+// What a fleet --resume needs from the interrupted coordinator's journal.
+struct FleetResumeSpec {
+  std::string dialect;
+  uint64_t seed = 0;
+  int budget = 0;
+  int units = 0;
+  bool finished = false;
+  // unit → journaled unit-result digest, from lease complete/resume events
+  // (last record wins). Only spooled results matching these digests are
+  // re-admitted.
+  std::map<int, uint64_t> completed;
+};
+
+// Parses a fleet journal into a resume spec. Unlike LoadResumeSpec this
+// accepts multi-shard (units > 1) journals — fleet units checkpoint into
+// the spool, not the journal's checkpoint stream.
+Result<FleetResumeSpec> LoadFleetResumeSpec(const std::string& journal_path);
+
+// Chaos oracle for the five fleet.* failpoint sites (delegated to here by
+// soft::RunChaosEnumeration — soft_core cannot link this library). Each site
+// is armed to fire once during a small real socket campaign; the oracle is
+// that the injected fault is absorbed by the lease/steal/respawn ladder and
+// the merged digest stays bit-identical to the uninjected `--shards=units`
+// reference. Exposed as `find_bugs --chaos=fleet`.
+ChaosReport RunFleetChaosEnumeration(const std::string& dialect, int budget);
+
+// Status client: connects to a serving coordinator, sends STATUS, and
+// returns the NDJSON payload (one event per line). Fails when nothing is
+// listening.
+Result<std::string> QueryFleetStatus(const std::string& socket_path);
+
+}  // namespace fleet
+}  // namespace soft
+
+#endif  // SRC_FLEET_COORDINATOR_H_

@@ -1,0 +1,148 @@
+#include "src/fleet/lease.h"
+
+#include <cstddef>
+
+using std::size_t;
+
+namespace soft {
+namespace fleet {
+
+LeaseTable::LeaseTable(int units) : slots_(units > 0 ? units : 0) {}
+
+int LeaseTable::Grant(int worker, uint64_t now_ns, uint64_t lease_ns) {
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    Slot& slot = slots_[i];
+    if (slot.state != UnitState::kPending) {
+      continue;
+    }
+    slot.state = UnitState::kLeased;
+    slot.worker = worker;
+    slot.deadline_ns = now_ns + lease_ns;
+    ++counters_.granted;
+    if (slot.reclaimed) {
+      ++counters_.stolen;
+    }
+    return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool LeaseTable::Heartbeat(int unit, int worker, int cases, uint64_t now_ns,
+                           uint64_t lease_ns) {
+  if (unit < 0 || unit >= static_cast<int>(slots_.size())) {
+    return false;
+  }
+  Slot& slot = slots_[unit];
+  if (slot.state != UnitState::kLeased || slot.worker != worker) {
+    return false;
+  }
+  slot.cases = cases;
+  slot.deadline_ns = now_ns + lease_ns;
+  ++counters_.heartbeats;
+  return true;
+}
+
+bool LeaseTable::Complete(int unit, int worker) {
+  if (unit < 0 || unit >= static_cast<int>(slots_.size())) {
+    return false;
+  }
+  Slot& slot = slots_[unit];
+  if (slot.state != UnitState::kLeased || slot.worker != worker) {
+    return false;
+  }
+  slot.state = UnitState::kDone;
+  ++counters_.completed;
+  ++done_;
+  return true;
+}
+
+void LeaseTable::ForceComplete(int unit, int worker) {
+  if (unit < 0 || unit >= static_cast<int>(slots_.size())) {
+    return;
+  }
+  Slot& slot = slots_[unit];
+  if (slot.state == UnitState::kDone) {
+    return;
+  }
+  slot.state = UnitState::kDone;
+  slot.worker = worker;
+  ++counters_.completed;
+  ++done_;
+}
+
+std::vector<int> LeaseTable::ReclaimExpired(uint64_t now_ns) {
+  std::vector<int> reclaimed;
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    Slot& slot = slots_[i];
+    if (slot.state == UnitState::kLeased && slot.deadline_ns <= now_ns) {
+      slot.state = UnitState::kPending;
+      slot.worker = -1;
+      slot.reclaimed = true;
+      ++counters_.reclaimed;
+      reclaimed.push_back(static_cast<int>(i));
+    }
+  }
+  return reclaimed;
+}
+
+std::vector<int> LeaseTable::ReclaimWorker(int worker) {
+  std::vector<int> reclaimed;
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    Slot& slot = slots_[i];
+    if (slot.state == UnitState::kLeased && slot.worker == worker) {
+      slot.state = UnitState::kPending;
+      slot.worker = -1;
+      slot.reclaimed = true;
+      ++counters_.reclaimed;
+      reclaimed.push_back(static_cast<int>(i));
+    }
+  }
+  return reclaimed;
+}
+
+uint64_t LeaseTable::NextDeadlineNs() const {
+  uint64_t next = 0;
+  for (const Slot& slot : slots_) {
+    if (slot.state == UnitState::kLeased &&
+        (next == 0 || slot.deadline_ns < next)) {
+      next = slot.deadline_ns;
+    }
+  }
+  return next;
+}
+
+int LeaseTable::pending() const {
+  int n = 0;
+  for (const Slot& slot : slots_) {
+    n += slot.state == UnitState::kPending ? 1 : 0;
+  }
+  return n;
+}
+
+int LeaseTable::leased() const {
+  int n = 0;
+  for (const Slot& slot : slots_) {
+    n += slot.state == UnitState::kLeased ? 1 : 0;
+  }
+  return n;
+}
+
+std::vector<LeaseView> LeaseTable::Snapshot() const {
+  std::vector<LeaseView> views;
+  views.reserve(slots_.size());
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    const Slot& slot = slots_[i];
+    LeaseView view;
+    view.unit = static_cast<int>(i);
+    view.state = slot.state;
+    view.worker = slot.worker;
+    view.cases = slot.cases;
+    view.deadline_ns = slot.deadline_ns;
+    view.reclaimed = slot.reclaimed;
+    views.push_back(view);
+  }
+  return views;
+}
+
+}  // namespace fleet
+}  // namespace soft

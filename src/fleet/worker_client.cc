@@ -1,0 +1,212 @@
+#include "src/fleet/worker_client.h"
+
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/dialects/dialects.h"
+#include "src/soft/parallel_runner.h"
+#include "src/soft/soft_fuzzer.h"
+#include "src/soft/wire.h"
+#include "src/util/io.h"
+
+namespace soft {
+namespace fleet {
+namespace {
+
+void SleepMs(int ms) {
+  timespec ts;
+  ts.tv_sec = ms / 1000;
+  ts.tv_nsec = static_cast<long>(ms % 1000) * 1000000L;
+  nanosleep(&ts, nullptr);
+}
+
+// Connects to the coordinator socket with bounded exponential backoff.
+// Returns -1 when the attempts run out (coordinator gone for good).
+int ConnectWithBackoff(const FleetWorkerOptions& options) {
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (options.socket_path.size() >= sizeof(addr.sun_path)) {
+    return -1;
+  }
+  std::strncpy(addr.sun_path, options.socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  int backoff = options.backoff_initial_ms;
+  for (int attempt = 0; attempt < options.connect_attempts; ++attempt) {
+    if (attempt != 0) {
+      SleepMs(backoff);
+      backoff = std::min(backoff * 2, options.backoff_max_ms);
+    }
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      continue;
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+      return fd;
+    }
+    ::close(fd);
+  }
+  return -1;
+}
+
+// The unit spec a GRANT line carries — everything needed to run the unit as
+// one case-partition shard, self-contained so external workers can attach.
+struct Grant {
+  int unit = 0;
+  int units = 1;
+  uint64_t seed = 0;
+  int budget = 0;
+  std::string dialect;
+  bool stop_all = false;
+  int timeout_ms = 0;
+  int trace_sample = 0;
+  int heartbeat_every = 0;
+  uint64_t campaign_base_ns = 0;
+  std::vector<std::string> oracles;
+};
+
+bool ParseGrant(const std::string& line, Grant& grant) {
+  std::istringstream in(line);
+  std::string tag, dialect_hex, oracles_hex;
+  uint64_t stop_all = 0;
+  if (!(in >> tag >> grant.unit >> grant.units >> grant.seed >> grant.budget >>
+        dialect_hex >> stop_all >> grant.timeout_ms >> grant.trace_sample >>
+        grant.heartbeat_every >> grant.campaign_base_ns >> oracles_hex)) {
+    return false;
+  }
+  grant.dialect = wire::HexDecode(dialect_hex);
+  grant.stop_all = stop_all != 0;
+  const std::string oracles = wire::HexDecode(oracles_hex);
+  size_t start = 0;
+  while (start < oracles.size()) {
+    const size_t comma = oracles.find(',', start);
+    const size_t end = comma == std::string::npos ? oracles.size() : comma;
+    if (end > start) {
+      grant.oracles.push_back(oracles.substr(start, end - start));
+    }
+    start = end + 1;
+  }
+  return grant.units > 0 && grant.unit >= 0 && grant.unit < grant.units;
+}
+
+}  // namespace
+
+int RunFleetWorker(const FleetWorkerOptions& options) {
+  // A dying coordinator must surface as clean EPIPE write errors, never as
+  // SIGPIPE process death — the reconnect ladder depends on it.
+  io::IgnoreSigpipe();
+
+  int units_started = 0;
+  // The cycle bound keeps a worker from reconnect-looping forever against a
+  // coordinator that accepts and immediately drops (e.g. chaos-armed).
+  for (int cycle = 0; cycle < options.connect_attempts; ++cycle) {
+    const int fd = ConnectWithBackoff(options);
+    if (fd < 0) {
+      return 3;
+    }
+    io::RetryingWriter writer(fd);
+    wire::LineBuffer lines;
+    bool conn_ok =
+        writer.WriteAll("HELLO " + std::to_string(::getpid()) + "\n").ok() &&
+        writer.WriteAll("REQ\n").ok();
+
+    while (conn_ok) {
+      // Pull the next control line (GRANT or FIN).
+      std::string line;
+      while (!lines.Next(line)) {
+        char chunk[4096];
+        const int64_t n = io::ReadRetrying(fd, chunk, sizeof(chunk));
+        if (n <= 0) {
+          conn_ok = false;
+          break;
+        }
+        lines.Append(chunk, static_cast<size_t>(n));
+      }
+      if (!conn_ok) {
+        break;
+      }
+      if (line.rfind("FIN", 0) == 0) {
+        ::close(fd);
+        return 0;
+      }
+      Grant grant;
+      if (!ParseGrant(line, grant)) {
+        ::close(fd);
+        return 1;
+      }
+
+      const int ordinal = units_started++;
+      const bool kill9_here = options.kill9_at_unit == ordinal;
+      const bool hang_here = options.hang_at_unit == ordinal;
+
+      ShardPlan plan;
+      plan.shard = grant.unit;
+      plan.options.seed = grant.seed;
+      plan.options.max_statements = grant.budget;
+      plan.options.shard_index = grant.unit;
+      plan.options.shard_count = grant.units;
+      plan.options.stop_when_all_bugs_found = grant.stop_all;
+      plan.options.statement_limits.deadline_ms = grant.timeout_ms;
+      plan.options.trace_sample = grant.trace_sample;
+      plan.options.logic_oracles = grant.oracles;
+      plan.options.checkpoint_every = grant.heartbeat_every;
+      // Heartbeats ride the campaign's checkpoint cadence. A failed send
+      // marks the sink dead; the campaign continues (journal_degraded) but
+      // its result can never be delivered over the dead socket anyway — the
+      // coordinator reclaims the lease and the unit reruns elsewhere.
+      plan.options.checkpoint_sink = [&](const CampaignCheckpoint& cp) {
+        if (kill9_here) {
+          ::kill(::getpid(), SIGKILL);
+        }
+        if (hang_here) {
+          // Stop heartbeating: the lease expires and the coordinator
+          // SIGKILLs this pid. Sleep rather than spin.
+          for (;;) {
+            SleepMs(1000);
+          }
+        }
+        return writer
+            .WriteAll("HB " + std::to_string(grant.unit) + " " +
+                      std::to_string(cp.cases_completed) + "\n")
+            .ok();
+      };
+      // Acknowledge the grant so a hung unit is distinguishable from a
+      // never-started one; also the hook point for the chaos kill.
+      CampaignCheckpoint ack;
+      if (!plan.options.checkpoint_sink(ack)) {
+        conn_ok = false;
+        break;
+      }
+
+      const std::string dialect = grant.dialect;
+      ShardResult outcome = ExecuteShardPlan(
+          [] { return std::unique_ptr<Fuzzer>(new SoftFuzzer()); },
+          [dialect] { return MakeDialect(dialect); }, plan, WorkerOptions{},
+          grant.campaign_base_ns);
+
+      conn_ok = writer.WriteAll("UNIT " + std::to_string(grant.unit) + "\n").ok() &&
+                wire::WriteResultBlock(
+                    [&writer](const std::string& record) {
+                      return writer.WriteAll(record + "\n").ok();
+                    },
+                    outcome.result, outcome.coverage) &&
+                writer.WriteAll("REQ\n").ok();
+    }
+    ::close(fd);
+    // Socket lost mid-campaign: reconnect as a fresh worker; any in-flight
+    // unit was abandoned and will be reclaimed + re-granted (work stealing).
+  }
+  return 3;
+}
+
+}  // namespace fleet
+}  // namespace soft

@@ -1,0 +1,62 @@
+// Fleet worker: the client half of the coordinator's Unix-domain-socket
+// protocol (docs/ROBUSTNESS.md).
+//
+// A worker connects, introduces itself, and loops requesting work units:
+//
+//   worker → coord   HELLO <pid>
+//   worker → coord   REQ
+//   coord  → worker  GRANT <unit> <units> <seed> <budget> <dialect-hex>
+//                          <stop_all> <timeout_ms> <trace_sample>
+//                          <heartbeat_every> <campaign_base_ns> <oracles-hex>
+//            ... or  FIN                      (campaign done — exit 0)
+//   worker → coord   HB <unit> <cases>        (every heartbeat_every cases,
+//                                              piggybacked on the campaign's
+//                                              checkpoint sink; one HB with
+//                                              cases=0 acknowledges the grant)
+//   worker → coord   UNIT <unit>
+//                    <wire result block>      (RES..END, src/soft/wire.h)
+//   worker → coord   REQ                      (loop)
+//
+// A GRANT line is a complete unit spec, so an external worker
+// (`find_bugs --fleet=attach`) needs nothing but the socket path. The unit
+// executes as one case-partition shard via ExecuteShardPlan: shard_index =
+// unit, shard_count = units, base seed, full budget — exactly the plan a
+// `--shards=units` campaign would run, which is what makes the coordinator's
+// merge bit-identical to a sharded (and, for the bug inventory, the serial)
+// run at any worker count.
+//
+// On socket loss the worker abandons any in-flight unit (the coordinator
+// reclaims its lease) and reconnects with bounded exponential backoff as a
+// fresh worker; when the coordinator is gone for good the attempts run out
+// and the worker exits nonzero.
+#ifndef SRC_FLEET_WORKER_CLIENT_H_
+#define SRC_FLEET_WORKER_CLIENT_H_
+
+#include <string>
+
+namespace soft {
+namespace fleet {
+
+struct FleetWorkerOptions {
+  std::string socket_path;
+  // Bounded exponential backoff for connect/reconnect attempts.
+  int connect_attempts = 40;
+  int backoff_initial_ms = 5;
+  int backoff_max_ms = 200;
+
+  // --- Test/chaos hooks (the coordinator's failpoint-driven worker chaos
+  // and tests/fleet_test.cc). Ordinals count the units this worker process
+  // has started, 0-based across reconnects.
+  int kill9_at_unit = -1;  // SIGKILL self at the first heartbeat of unit ordinal N
+  int hang_at_unit = -1;   // stop heartbeating at unit ordinal N (lease expires)
+};
+
+// Runs the worker loop until FIN (returns 0), connect/reconnect attempts
+// run out (returns 3), or a malformed grant arrives (returns 1). Installs
+// io::IgnoreSigpipe so a dying coordinator surfaces as clean write errors.
+int RunFleetWorker(const FleetWorkerOptions& options);
+
+}  // namespace fleet
+}  // namespace soft
+
+#endif  // SRC_FLEET_WORKER_CLIENT_H_

@@ -2,9 +2,11 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/failpoint/failpoint.h"
@@ -452,6 +454,32 @@ uint64_t DigestCampaignResult(const CampaignResult& result) {
   return d;
 }
 
+uint64_t DigestBugInventory(const CampaignResult& result) {
+  std::vector<int64_t> crash_ids;
+  crash_ids.reserve(result.unique_bugs.size());
+  for (const FoundBug& bug : result.unique_bugs) {
+    crash_ids.push_back(bug.crash.bug_id);
+  }
+  std::sort(crash_ids.begin(), crash_ids.end());
+  std::vector<int64_t> logic_ids;
+  logic_ids.reserve(result.logic_bugs.size());
+  for (const FoundLogicBug& bug : result.logic_bugs) {
+    logic_ids.push_back(bug.info.bug_id);
+  }
+  std::sort(logic_ids.begin(), logic_ids.end());
+  uint64_t d = 0xCBF29CE484222325ull;
+  d = FnvFold(d, result.dialect);
+  d = FnvFoldInt(d, static_cast<int64_t>(crash_ids.size()));
+  for (const int64_t id : crash_ids) {
+    d = FnvFoldInt(d, id);
+  }
+  d = FnvFoldInt(d, static_cast<int64_t>(logic_ids.size()));
+  for (const int64_t id : logic_ids) {
+    d = FnvFoldInt(d, id);
+  }
+  return d;
+}
+
 uint64_t DigestLogicOutcome(const CampaignResult& result) {
   uint64_t d = 0xCBF29CE484222325ull;
   d = FnvFold(d, result.dialect);
@@ -477,6 +505,21 @@ ChaosReport RunChaosEnumeration(const std::string& dialect, int budget,
     return report;  // nothing to inject; vacuously ok
   }
   for (const failpoint::SiteInfo& site : failpoint::kInventory) {
+    // fleet.* sites need a live coordinator/worker topology to exercise;
+    // their oracles live in soft::fleet::RunFleetChaosEnumeration (soft_core
+    // cannot link the fleet library). Report them as delegated, not failed.
+    if (std::string_view(site.name).rfind("fleet.", 0) == 0) {
+      ChaosSiteOutcome delegated;
+      delegated.failpoint = std::string(site.name);
+      delegated.site_class = std::string(failpoint::SiteClassName(site.site_class));
+      delegated.spec = "(delegated)";
+      delegated.ok = true;
+      delegated.detail =
+          "fleet site: oracle runs in soft::fleet::RunFleetChaosEnumeration "
+          "(find_bugs --chaos=fleet)";
+      report.outcomes.push_back(delegated);
+      continue;
+    }
     switch (site.site_class) {
       case failpoint::SiteClass::kEngine:
         report.outcomes.push_back(CheckEngineSite(site, dialect, report.budget));

@@ -68,6 +68,14 @@ struct ChaosReport {
 // reference. Exposed for the chaos tests' sharded-identity assertions.
 uint64_t DigestCampaignResult(const CampaignResult& result);
 
+// Stable digest over the campaign's *bug inventory* alone: the dialect plus
+// the sorted crash-bug ids and sorted logic-bug ids. Unlike
+// DigestCampaignResult it folds no shard structure, witnesses, or counters,
+// so it is bit-identical between a serial run, a --shards=K run, and a
+// fleet campaign at any worker count — the parity oracle the asan-fleet CI
+// lane greps (`find_bugs` prints it as `bug digest`).
+uint64_t DigestBugInventory(const CampaignResult& result);
+
 // Stable digest over a campaign's wrong-result outcome: the logic counters
 // and, per logic bug, only shard-invariant identity (bug id, flagging
 // oracle, PoC statement, global case index). statements_until_found and

@@ -91,9 +91,12 @@ void AttachShardSpans(CampaignResult& result, int shard, uint64_t shard_start_ns
 
 }  // namespace
 
-ParallelCampaignRunner::ShardOutcome ParallelCampaignRunner::RunShard(
-    const ShardPlan& plan, uint64_t campaign_base_ns) const {
-  ShardOutcome outcome;
+ShardResult ExecuteShardPlan(const WorkerFuzzerFactory& make_fuzzer,
+                             const WorkerDatabaseFactory& make_database,
+                             const ShardPlan& plan,
+                             const WorkerOptions& worker_options,
+                             uint64_t campaign_base_ns) {
+  ShardResult outcome;
   const bool tracing = plan.options.trace_sample > 0;
   const uint64_t shard_start_ns =
       tracing ? telemetry::MonotonicNowNs() - campaign_base_ns : 0;
@@ -102,7 +105,7 @@ ParallelCampaignRunner::ShardOutcome ParallelCampaignRunner::RunShard(
     // supervised forked workers. Deterministic replay makes the returned
     // result bit-identical to the simulated in-process path.
     WorkerShardOutcome worker = RunShardInWorkerProcess(
-        make_fuzzer_, make_database_, plan.options, worker_options_);
+        make_fuzzer, make_database, plan.options, worker_options);
     outcome.result = std::move(worker.result);
     outcome.coverage = std::move(worker.coverage);
     outcome.stats = worker.stats;
@@ -119,8 +122,8 @@ ParallelCampaignRunner::ShardOutcome ParallelCampaignRunner::RunShard(
     }
     return outcome;
   }
-  std::unique_ptr<Database> db = make_database_();
-  std::unique_ptr<Fuzzer> fuzzer = make_fuzzer_();
+  std::unique_ptr<Database> db = make_database();
+  std::unique_ptr<Fuzzer> fuzzer = make_fuzzer();
   if (db == nullptr || fuzzer == nullptr) {
     return outcome;
   }
@@ -140,8 +143,12 @@ ParallelCampaignRunner::ShardOutcome ParallelCampaignRunner::RunShard(
   return outcome;
 }
 
-CampaignResult ParallelCampaignRunner::Merge(std::vector<ShardOutcome> outcomes) const {
+CampaignResult MergeShardResults(std::vector<ShardResult> outcomes,
+                                 WorkerRunStats* stats) {
   CampaignResult merged;
+  if (stats != nullptr) {
+    *stats = WorkerRunStats{};
+  }
   if (outcomes.empty()) {
     return merged;
   }
@@ -152,11 +159,12 @@ CampaignResult ParallelCampaignRunner::Merge(std::vector<ShardOutcome> outcomes)
   CoverageTracker coverage;
   std::vector<FoundBug> witnesses;
   std::vector<FoundLogicBug> logic_witnesses;
-  worker_stats_ = WorkerRunStats{};
-  for (const ShardOutcome& outcome : outcomes) {
-    worker_stats_.MergeFrom(outcome.stats);
+  if (stats != nullptr) {
+    for (const ShardResult& outcome : outcomes) {
+      stats->MergeFrom(outcome.stats);
+    }
   }
-  for (const ShardOutcome& outcome : outcomes) {
+  for (const ShardResult& outcome : outcomes) {
     const CampaignResult& r = outcome.result;
     merged.statements_executed += r.statements_executed;
     merged.sql_errors += r.sql_errors;
@@ -257,33 +265,36 @@ CampaignResult ParallelCampaignRunner::Run(const CampaignOptions& options, int s
                                            ShardMode mode) const {
   const std::vector<ShardPlan> plans = PlanShards(options, shards, mode);
   const uint64_t campaign_base_ns = telemetry::MonotonicNowNs();
-  std::vector<ShardOutcome> outcomes(plans.size());
+  std::vector<ShardResult> outcomes(plans.size());
   if (plans.size() == 1) {
-    outcomes[0] = RunShard(plans[0], campaign_base_ns);
-    return Merge(std::move(outcomes));
+    outcomes[0] = ExecuteShardPlan(make_fuzzer_, make_database_, plans[0],
+                                   worker_options_, campaign_base_ns);
+    return MergeShardResults(std::move(outcomes), &worker_stats_);
   }
   std::vector<std::thread> workers;
   workers.reserve(plans.size());
   for (size_t i = 0; i < plans.size(); ++i) {
     workers.emplace_back([this, &plans, &outcomes, campaign_base_ns, i] {
-      outcomes[i] = RunShard(plans[i], campaign_base_ns);
+      outcomes[i] = ExecuteShardPlan(make_fuzzer_, make_database_, plans[i],
+                                     worker_options_, campaign_base_ns);
     });
   }
   for (std::thread& worker : workers) {
     worker.join();
   }
-  return Merge(std::move(outcomes));
+  return MergeShardResults(std::move(outcomes), &worker_stats_);
 }
 
 CampaignResult ParallelCampaignRunner::RunSerial(const CampaignOptions& options,
                                                  int shards, ShardMode mode) const {
   const std::vector<ShardPlan> plans = PlanShards(options, shards, mode);
   const uint64_t campaign_base_ns = telemetry::MonotonicNowNs();
-  std::vector<ShardOutcome> outcomes(plans.size());
+  std::vector<ShardResult> outcomes(plans.size());
   for (size_t i = 0; i < plans.size(); ++i) {
-    outcomes[i] = RunShard(plans[i], campaign_base_ns);
+    outcomes[i] = ExecuteShardPlan(make_fuzzer_, make_database_, plans[i],
+                                   worker_options_, campaign_base_ns);
   }
-  return Merge(std::move(outcomes));
+  return MergeShardResults(std::move(outcomes), &worker_stats_);
 }
 
 CampaignResult RunShardedCampaign(const ParallelCampaignRunner::FuzzerFactory& make_fuzzer,

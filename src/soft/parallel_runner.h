@@ -64,6 +64,43 @@ struct ShardPlan {
 std::vector<ShardPlan> PlanShards(const CampaignOptions& options, int shards,
                                   ShardMode mode = ShardMode::kSplitBudget);
 
+// One executed shard: the campaign result plus the artifacts the merge
+// needs alongside it.
+struct ShardResult {
+  CampaignResult result;
+  // Snapshot of the shard database's tracker, merged across shards so the
+  // campaign-level coverage counts are a true union (not a sum).
+  CoverageTracker coverage;
+  // Worker-supervision record for this shard (real-crash mode only).
+  WorkerRunStats stats;
+};
+
+// Executes one shard plan on the calling thread: honours
+// options.crash_realism (kReal dispatches to the forked-worker harness),
+// stamps FoundBug/FoundLogicBug::shard, and — when tracing — attaches the
+// shard/worker-run structural spans rebased onto `campaign_base_ns` (the
+// absolute MonotonicNowNs() reading at campaign start). This is the one
+// shard-execution path: ParallelCampaignRunner threads call it per shard,
+// and fleet workers (src/fleet/) call it per leased work unit, which is
+// what makes a fleet merge bit-identical to a sharded run by construction.
+ShardResult ExecuteShardPlan(const WorkerFuzzerFactory& make_fuzzer,
+                             const WorkerDatabaseFactory& make_database,
+                             const ShardPlan& plan,
+                             const WorkerOptions& worker_options = {},
+                             uint64_t campaign_base_ns = 0);
+
+// The deterministic shard merge (see the contract above): walks `outcomes`
+// in index order — counters sum, coverage unions, crash bugs dedupe by
+// identity keeping the lowest (shard, statements_until_found) witness,
+// logic bugs dedupe on the lowest global case index, traces/flights
+// concatenate and gain the campaign root span. A pure function of the
+// outcome vector: any executor that produces the same per-shard results
+// (threads, fleet workers, a resume loading spooled units) merges to the
+// bit-identical campaign. `stats`, when given, receives the aggregated
+// worker-supervision counters.
+CampaignResult MergeShardResults(std::vector<ShardResult> outcomes,
+                                 WorkerRunStats* stats = nullptr);
+
 class ParallelCampaignRunner {
  public:
   using FuzzerFactory = std::function<std::unique_ptr<Fuzzer>()>;
@@ -95,21 +132,6 @@ class ParallelCampaignRunner {
   const WorkerRunStats& worker_stats() const { return worker_stats_; }
 
  private:
-  struct ShardOutcome {
-    CampaignResult result;
-    // Snapshot of the shard database's tracker, merged across shards so the
-    // campaign-level coverage counts are a true union (not a sum).
-    CoverageTracker coverage;
-    // Worker-supervision record for this shard (real-crash mode only).
-    WorkerRunStats stats;
-  };
-
-  // `campaign_base_ns` is the absolute MonotonicNowNs() reading taken at
-  // Run/RunSerial entry — the campaign clock origin every shard's spans are
-  // rebased onto (observational; unused when tracing is off).
-  ShardOutcome RunShard(const ShardPlan& plan, uint64_t campaign_base_ns) const;
-  CampaignResult Merge(std::vector<ShardOutcome> outcomes) const;
-
   FuzzerFactory make_fuzzer_;
   DatabaseFactory make_database_;
   WorkerOptions worker_options_;

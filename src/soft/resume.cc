@@ -7,6 +7,30 @@
 
 namespace soft {
 
+std::string DescribeCheckpointDivergence(const CampaignCheckpoint& journal,
+                                         const CampaignCheckpoint& replayed) {
+  std::string out;
+  const auto field = [&out](const char* name, auto journal_value, auto replay_value) {
+    if (journal_value == replay_value) {
+      return;
+    }
+    if (!out.empty()) {
+      out += "; ";
+    }
+    out += std::string(name) + " journal=" + std::to_string(journal_value) +
+           " replay=" + std::to_string(replay_value);
+  };
+  field("cases_completed", journal.cases_completed, replayed.cases_completed);
+  field("sql_errors", journal.sql_errors, replayed.sql_errors);
+  field("crashes_observed", journal.crashes_observed, replayed.crashes_observed);
+  field("false_positives", journal.false_positives, replayed.false_positives);
+  field("watchdog_timeouts", journal.watchdog_timeouts, replayed.watchdog_timeouts);
+  field("unique_bugs", journal.unique_bugs, replayed.unique_bugs);
+  field("rng_fingerprint", journal.rng_fingerprint, replayed.rng_fingerprint);
+  field("dedup_digest", journal.dedup_digest, replayed.dedup_digest);
+  return out.empty() ? "no field differs" : out;
+}
+
 Result<ResumeSpec> LoadResumeSpec(const std::string& journal_path) {
   SOFT_ASSIGN_OR_RETURN(telemetry::JournalReplay replay,
                         telemetry::ReplayJournalFile(journal_path));
@@ -52,6 +76,7 @@ Result<CampaignResult> ResumeSoftCampaign(const ResumeSpec& spec,
   }
 
   bool verified = false;
+  CampaignCheckpoint replayed;  // the replay's checkpoint at the anchor cases
   bool mismatch = false;
   const auto original_sink = base_options.checkpoint_sink;
   options.checkpoint_sink = [&, original_sink](const CampaignCheckpoint& cp) {
@@ -61,6 +86,7 @@ Result<CampaignResult> ResumeSoftCampaign(const ResumeSpec& spec,
           cp.dedup_digest == spec.last_checkpoint.dedup_digest) {
         verified = true;
       } else {
+        replayed = cp;
         mismatch = true;
       }
     }
@@ -73,8 +99,9 @@ Result<CampaignResult> ResumeSoftCampaign(const ResumeSpec& spec,
     return InvalidArgument(
         "resume verification failed: replay diverged from the journal's last "
         "checkpoint at " +
-        std::to_string(spec.last_checkpoint.cases_completed) +
-        " cases (journal corrupt, or campaign knobs differ from the "
+        std::to_string(spec.last_checkpoint.cases_completed) + " cases — " +
+        DescribeCheckpointDivergence(spec.last_checkpoint, replayed) +
+        " (journal corrupt, or campaign knobs differ from the "
         "interrupted run)");
   }
   if (spec.has_checkpoint && !verified &&

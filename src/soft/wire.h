@@ -1,0 +1,111 @@
+// Shared line-oriented wire codec for campaign results and progress records.
+//
+// Two transports speak this format: the fork+pipe worker harness
+// (src/soft/worker.cc, PR 3/5) and the fleet coordinator's Unix-domain
+// socket protocol (src/fleet/). Both move '\n'-terminated records of
+// space-separated tokens, strings hex-encoded with "-" for empty, so a
+// record is torn if and only if its newline is missing — the same framing
+// invariant the NDJSON journal relies on (docs/ROBUSTNESS.md).
+//
+// Record tags of a serialized result block, in emission order:
+//
+//   RES  tool dialect statements sql_errors crashes fps timeouts
+//        logic_checks logic_divergences logic_fps functions branches
+//        shards journal_degraded
+//   SST  per-shard statement count (one line per shard of a merged result)
+//   BUG  crash identity + witness (found_by, poc, statement index, shard,
+//        wall anchor)
+//   LBG  wrong-result bug: LogicBugInfo + oracle attribution + PoC/witness
+//   CVB  one covered branch key
+//   TLS  one stage-latency histogram (index, samples, totals, buckets)
+//   TLP  one per-pattern telemetry counter row
+//   TRS  one trace span (id, parent, kind, shard, times, args)
+//   FLR  one crash flight record (headers + inlined ring entries)
+//   END  terminates the block
+//
+// Progress records outside result blocks (transport-specific dispatch):
+// the worker pipe's F/C/K lines and the fleet protocol's HELLO/REQ/GRANT/
+// HB/UNIT/FIN lines reuse the token and sub-record encoders below.
+#ifndef SRC_SOFT_WIRE_H_
+#define SRC_SOFT_WIRE_H_
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+#include "src/coverage/coverage.h"
+#include "src/soft/campaign.h"
+
+namespace soft {
+namespace wire {
+
+// --- token encoding --------------------------------------------------------
+
+// Lowercase hex; "-" encodes the empty string so tokens never vanish.
+std::string HexEncode(const std::string& s);
+std::string HexDecode(const std::string& s);
+
+// --- sub-record serialization ---------------------------------------------
+
+std::string EncodeCrash(const CrashInfo& info);
+bool DecodeCrash(std::istringstream& in, CrashInfo& info);
+
+std::string EncodeFlightEntry(const trace::FlightEntry& e);
+bool DecodeFlightEntry(std::istringstream& in, trace::FlightEntry& e);
+
+std::string EncodeSpan(const trace::TraceSpan& s);
+bool DecodeSpan(std::istringstream& in, trace::TraceSpan& s);
+
+std::string EncodeCheckpoint(const CampaignCheckpoint& cp);
+bool DecodeCheckpoint(std::istringstream& in, CampaignCheckpoint& cp);
+
+std::string EncodeLogicBug(const FoundLogicBug& bug);
+bool DecodeLogicBug(std::istringstream& in, FoundLogicBug& bug);
+
+std::string EncodeFlightRecord(const trace::CrashFlightRecord& flight);
+bool DecodeFlightRecord(std::istringstream& in, trace::CrashFlightRecord& flight);
+
+// --- result block ----------------------------------------------------------
+
+// Receives one unframed record line per call; returns false when the
+// transport is gone (the caller stops emitting — a finished result block is
+// then torn, never half-parsed, because END was not delivered).
+using LineSink = std::function<bool(const std::string&)>;
+
+// Serializes a completed CampaignResult + coverage snapshot as the record
+// block above. Returns false as soon as the sink does.
+bool WriteResultBlock(const LineSink& sink, const CampaignResult& result,
+                      const CoverageTracker& coverage);
+
+// Reassembly state for one result block.
+struct ResultBlock {
+  CampaignResult result;
+  CoverageTracker coverage;
+  bool complete = false;  // END seen
+};
+
+// Feeds one record line into `block`. Returns true when the tag was a
+// result-block tag (consumed), false for anything else — the caller owns
+// transport-specific records (C/F/K, fleet control lines) and torn tails.
+bool ConsumeResultLine(const std::string& line, ResultBlock& block);
+
+// --- framing ---------------------------------------------------------------
+
+// Reassembles '\n'-framed records from arbitrary read chunks. A partial
+// last line stays buffered until its newline arrives (or forever, if the
+// producer died mid-record — exactly the torn-tail case the caller drops).
+class LineBuffer {
+ public:
+  void Append(const char* data, size_t n) { buffer_.append(data, n); }
+  // Pops the next complete line (without its '\n') into `line`.
+  bool Next(std::string& line);
+  bool HasPartial() const { return !buffer_.empty(); }
+
+ private:
+  std::string buffer_;
+};
+
+}  // namespace wire
+}  // namespace soft
+
+#endif  // SRC_SOFT_WIRE_H_

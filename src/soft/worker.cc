@@ -1,8 +1,9 @@
 // Fork+pipe worker harness for real-crash shard execution. Protocol and
 // supervision semantics are documented in worker.h and docs/ROBUSTNESS.md.
 //
-// Pipe line protocol (child → supervisor, one record per '\n'-terminated
-// line, space-separated tokens; strings hex-encoded, "-" for empty):
+// Pipe records (child → supervisor) use the shared wire codec
+// (src/soft/wire.h): '\n'-terminated lines of space-separated tokens,
+// strings hex-encoded, "-" for empty. Transport-specific records:
 //
 //   F  <index> <pattern> <sql> <stage> <outcome>
 //        one crash-flight ring entry (oldest first), flushed as a block
@@ -13,9 +14,9 @@
 //   K  <every> <shard> <cases> <sql_errors> <crashes> <fps> <timeouts>
 //        <unique_bugs> <rng_fingerprint> <dedup_digest>
 //        checkpoint record, forwarded to the shard's checkpoint sink
-//   RES/SST/BUG/CVB/TLS/TLP/TRS/END
-//        the completed CampaignResult + coverage + telemetry + trace-span
-//        block, written only by a child that finished its campaign
+//
+// A child that finishes its campaign writes the wire result block
+// (RES/SST/BUG/LBG/CVB/TLS/TLP/TRS/FLR/END — see wire.h).
 #include "src/soft/worker.h"
 
 #include <sys/types.h>
@@ -32,45 +33,13 @@
 #include <vector>
 
 #include "src/failpoint/failpoint.h"
+#include "src/soft/wire.h"
 #include "src/telemetry/telemetry.h"
 #include "src/telemetry/trace.h"
 #include "src/util/io.h"
 
 namespace soft {
 namespace {
-
-// --- token encoding --------------------------------------------------------
-
-std::string HexEncode(const std::string& s) {
-  if (s.empty()) {
-    return "-";
-  }
-  static const char kDigits[] = "0123456789abcdef";
-  std::string out;
-  out.reserve(s.size() * 2);
-  for (const unsigned char c : s) {
-    out.push_back(kDigits[c >> 4]);
-    out.push_back(kDigits[c & 0xF]);
-  }
-  return out;
-}
-
-std::string HexDecode(const std::string& s) {
-  if (s == "-") {
-    return "";
-  }
-  auto nibble = [](char c) -> int {
-    if (c >= '0' && c <= '9') return c - '0';
-    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
-    return 0;
-  };
-  std::string out;
-  out.reserve(s.size() / 2);
-  for (size_t i = 0; i + 1 < s.size(); i += 2) {
-    out.push_back(static_cast<char>((nibble(s[i]) << 4) | nibble(s[i + 1])));
-  }
-  return out;
-}
 
 // Writes the whole line (append '\n') to fd through the shared retrying
 // writer (bounded backoff over EINTR/short writes — src/util/io.h). Only
@@ -90,142 +59,6 @@ bool WriteLine(int fd, const std::string& line) {
   return writer.WriteLine(line).ok();
 }
 
-// --- record serialization --------------------------------------------------
-
-std::string EncodeCrash(const CrashInfo& info) {
-  std::ostringstream out;
-  out << info.bug_id << ' ' << HexEncode(info.dbms) << ' ' << HexEncode(info.function)
-      << ' ' << static_cast<int>(info.crash) << ' ' << static_cast<int>(info.stage)
-      << ' ' << HexEncode(info.pattern) << ' ' << HexEncode(info.description);
-  return out.str();
-}
-
-bool DecodeCrash(std::istringstream& in, CrashInfo& info) {
-  int crash = 0, stage = 0;
-  std::string dbms, function, pattern, description;
-  if (!(in >> info.bug_id >> dbms >> function >> crash >> stage >> pattern >>
-        description)) {
-    return false;
-  }
-  info.dbms = HexDecode(dbms);
-  info.function = HexDecode(function);
-  info.crash = static_cast<CrashType>(crash);
-  info.stage = static_cast<Stage>(stage);
-  info.pattern = HexDecode(pattern);
-  info.description = HexDecode(description);
-  return true;
-}
-
-std::string EncodeFlightEntry(const trace::FlightEntry& e) {
-  std::ostringstream out;
-  out << e.statement_index << ' ' << HexEncode(e.pattern) << ' ' << HexEncode(e.sql)
-      << ' ' << HexEncode(e.stage_reached) << ' ' << HexEncode(e.outcome);
-  return out.str();
-}
-
-bool DecodeFlightEntry(std::istringstream& in, trace::FlightEntry& e) {
-  std::string pattern, sql, stage, outcome;
-  if (!(in >> e.statement_index >> pattern >> sql >> stage >> outcome)) {
-    return false;
-  }
-  e.pattern = HexDecode(pattern);
-  e.sql = HexDecode(sql);
-  e.stage_reached = HexDecode(stage);
-  e.outcome = HexDecode(outcome);
-  return true;
-}
-
-std::string EncodeSpan(const trace::TraceSpan& s) {
-  std::ostringstream out;
-  out << s.id << ' ' << s.parent_id << ' ' << static_cast<int>(s.kind) << ' '
-      << s.shard << ' ' << s.start_ns << ' ' << s.dur_ns << ' ' << s.args.size();
-  for (const auto& [key, value] : s.args) {
-    out << ' ' << HexEncode(key) << ' ' << HexEncode(value);
-  }
-  return out.str();
-}
-
-bool DecodeSpan(std::istringstream& in, trace::TraceSpan& s) {
-  int kind = 0;
-  size_t arg_count = 0;
-  if (!(in >> s.id >> s.parent_id >> kind >> s.shard >> s.start_ns >> s.dur_ns >>
-        arg_count)) {
-    return false;
-  }
-  s.kind = static_cast<trace::SpanKind>(kind);
-  for (size_t i = 0; i < arg_count; ++i) {
-    std::string key, value;
-    if (!(in >> key >> value)) {
-      return false;
-    }
-    s.args.emplace_back(HexDecode(key), HexDecode(value));
-  }
-  return true;
-}
-
-std::string EncodeCheckpoint(const CampaignCheckpoint& cp) {
-  std::ostringstream out;
-  out << cp.every << ' ' << cp.shard << ' ' << cp.cases_completed << ' '
-      << cp.sql_errors << ' ' << cp.crashes_observed << ' ' << cp.false_positives
-      << ' ' << cp.watchdog_timeouts << ' ' << cp.unique_bugs << ' '
-      << cp.rng_fingerprint << ' ' << cp.dedup_digest;
-  return out.str();
-}
-
-bool DecodeCheckpoint(std::istringstream& in, CampaignCheckpoint& cp) {
-  return static_cast<bool>(in >> cp.every >> cp.shard >> cp.cases_completed >>
-                           cp.sql_errors >> cp.crashes_observed >> cp.false_positives >>
-                           cp.watchdog_timeouts >> cp.unique_bugs >>
-                           cp.rng_fingerprint >> cp.dedup_digest);
-}
-
-void WriteResultBlock(int fd, const CampaignResult& result,
-                      const CoverageTracker& coverage) {
-  {
-    std::ostringstream out;
-    out << "RES " << HexEncode(result.tool) << ' ' << HexEncode(result.dialect) << ' '
-        << result.statements_executed << ' ' << result.sql_errors << ' '
-        << result.crashes_observed << ' ' << result.false_positives << ' '
-        << result.watchdog_timeouts << ' ' << result.functions_triggered << ' '
-        << result.branches_covered << ' ' << result.shards << ' '
-        << (result.journal_degraded ? 1 : 0);
-    WriteLine(fd, out.str());
-  }
-  for (const int n : result.shard_statements) {
-    WriteLine(fd, "SST " + std::to_string(n));
-  }
-  for (const FoundBug& bug : result.unique_bugs) {
-    std::ostringstream out;
-    out << "BUG " << EncodeCrash(bug.crash) << ' ' << HexEncode(bug.found_by) << ' '
-        << HexEncode(bug.poc_sql) << ' ' << bug.statements_until_found << ' '
-        << bug.shard << ' ' << bug.found_wall_ns << ' ' << (bug.wall_recorded ? 1 : 0);
-    WriteLine(fd, out.str());
-  }
-  for (const std::string& key : coverage.BranchKeys()) {
-    WriteLine(fd, "CVB " + HexEncode(key));
-  }
-  for (size_t i = 0; i < telemetry::kStageCount; ++i) {
-    const telemetry::LatencyHistogram& h = result.telemetry.stage_latency[i];
-    std::ostringstream out;
-    out << "TLS " << i << ' ' << h.samples << ' ' << h.total_ns << ' ' << h.max_ns;
-    for (const uint64_t b : h.buckets) {
-      out << ' ' << b;
-    }
-    WriteLine(fd, out.str());
-  }
-  for (const auto& [pattern, c] : result.telemetry.patterns) {
-    std::ostringstream out;
-    out << "TLP " << HexEncode(pattern) << ' ' << c.generated << ' ' << c.executed
-        << ' ' << c.crashes << ' ' << c.bugs_deduped << ' ' << c.sql_errors << ' '
-        << c.false_positives << ' ' << c.timeouts;
-    WriteLine(fd, out.str());
-  }
-  for (const trace::TraceSpan& span : result.trace.spans) {
-    WriteLine(fd, "TRS " + EncodeSpan(span));
-  }
-  WriteLine(fd, "END");
-}
-
 // --- child -----------------------------------------------------------------
 
 [[noreturn]] void RunWorkerChild(int fd, const WorkerFuzzerFactory& make_fuzzer,
@@ -236,6 +69,10 @@ void WriteResultBlock(int fd, const CampaignResult& result,
   if (die_silently) {
     ::_exit(86);  // test hook: unannounced startup death
   }
+  // A supervisor killed mid-read must not SIGPIPE-kill the child mid-frame:
+  // writes then fail with EPIPE, which RetryingWriter surfaces as a clean
+  // kIoError and the checkpoint sink turns into journal degradation.
+  io::IgnoreSigpipe();
   std::unique_ptr<Database> db = make_database();
   std::unique_ptr<Fuzzer> fuzzer = make_fuzzer();
   if (db == nullptr || fuzzer == nullptr) {
@@ -266,10 +103,10 @@ void WriteResultBlock(int fd, const CampaignResult& result,
       entries.back().stage_reached = std::string(StageName(info.stage));
       entries.back().outcome = "crash";
       for (const trace::FlightEntry& entry : entries) {
-        WriteLine(fd, "F " + EncodeFlightEntry(entry));
+        WriteLine(fd, "F " + wire::EncodeFlightEntry(entry));
       }
     }
-    WriteLine(fd, "C " + EncodeCrash(info));
+    WriteLine(fd, "C " + wire::EncodeCrash(info));
   };
   db->set_crash_realism(std::move(policy));
 
@@ -278,11 +115,12 @@ void WriteResultBlock(int fd, const CampaignResult& result,
   // degrades the journal (the child keeps running), it does not kill the
   // campaign.
   options.checkpoint_sink = [fd](const CampaignCheckpoint& cp) {
-    return WriteLine(fd, "K " + EncodeCheckpoint(cp));
+    return WriteLine(fd, "K " + wire::EncodeCheckpoint(cp));
   };
 
   const CampaignResult result = fuzzer->Run(*db, options);
-  WriteResultBlock(fd, result, db->coverage());
+  wire::WriteResultBlock([fd](const std::string& line) { return WriteLine(fd, line); },
+                         result, db->coverage());
   ::_exit(0);  // skip atexit/leak machinery; the pipe already holds the result
 }
 
@@ -290,12 +128,11 @@ void WriteResultBlock(int fd, const CampaignResult& result,
 
 struct ChildStream {
   bool announced = false;
-  CrashInfo crash;       // last (only) announcement of this child life
-  bool complete = false;
-  CampaignResult result;
-  CoverageTracker coverage;
+  CrashInfo crash;  // last (only) announcement of this child life
   // Crash-flight entries flushed ahead of the announcement (oldest first).
   std::vector<trace::FlightEntry> flight;
+  // The completed result block (block.complete once END arrived).
+  wire::ResultBlock block;
 };
 
 void ParseChildLine(const std::string& line, ChildStream& stream,
@@ -308,86 +145,33 @@ void ParseChildLine(const std::string& line, ChildStream& stream,
   in >> tag;
   if (tag == "C") {
     CrashInfo info;
-    if (DecodeCrash(in, info)) {
+    if (wire::DecodeCrash(in, info)) {
       stream.crash = std::move(info);
       stream.announced = true;
     }
   } else if (tag == "F") {
     trace::FlightEntry entry;
-    if (DecodeFlightEntry(in, entry)) {
+    if (wire::DecodeFlightEntry(in, entry)) {
       stream.flight.push_back(std::move(entry));
-    }
-  } else if (tag == "TRS") {
-    trace::TraceSpan span;
-    if (DecodeSpan(in, span)) {
-      stream.result.trace.spans.push_back(std::move(span));
     }
   } else if (tag == "K") {
     CampaignCheckpoint cp;
-    if (DecodeCheckpoint(in, cp) && on_checkpoint) {
+    if (wire::DecodeCheckpoint(in, cp) && on_checkpoint) {
       on_checkpoint(cp);
     }
-  } else if (tag == "RES") {
-    std::string tool, dialect;
-    int journal_degraded = 0;
-    in >> tool >> dialect >> stream.result.statements_executed >>
-        stream.result.sql_errors >> stream.result.crashes_observed >>
-        stream.result.false_positives >> stream.result.watchdog_timeouts >>
-        stream.result.functions_triggered >> stream.result.branches_covered >>
-        stream.result.shards >> journal_degraded;
-    stream.result.journal_degraded = journal_degraded != 0;
-    stream.result.tool = HexDecode(tool);
-    stream.result.dialect = HexDecode(dialect);
-  } else if (tag == "SST") {
-    int n = 0;
-    if (in >> n) {
-      stream.result.shard_statements.push_back(n);
-    }
-  } else if (tag == "BUG") {
-    FoundBug bug;
-    std::string found_by, poc;
-    int wall_recorded = 0;
-    if (DecodeCrash(in, bug.crash) &&
-        (in >> found_by >> poc >> bug.statements_until_found >> bug.shard >>
-         bug.found_wall_ns >> wall_recorded)) {
-      bug.found_by = HexDecode(found_by);
-      bug.poc_sql = HexDecode(poc);
-      bug.wall_recorded = wall_recorded != 0;
-      stream.result.unique_bugs.push_back(std::move(bug));
-    }
-  } else if (tag == "CVB") {
-    std::string key;
-    if (in >> key) {
-      stream.coverage.RestoreBranchKey(HexDecode(key));
-    }
-  } else if (tag == "TLS") {
-    size_t stage = 0;
-    telemetry::LatencyHistogram h;
-    in >> stage >> h.samples >> h.total_ns >> h.max_ns;
-    for (uint64_t& b : h.buckets) {
-      in >> b;
-    }
-    if (in && stage < telemetry::kStageCount) {
-      stream.result.telemetry.stage_latency[stage] = h;
-    }
-  } else if (tag == "TLP") {
-    std::string pattern;
-    telemetry::PatternCounters c;
-    if (in >> pattern >> c.generated >> c.executed >> c.crashes >> c.bugs_deduped >>
-        c.sql_errors >> c.false_positives >> c.timeouts) {
-      stream.result.telemetry.patterns[HexDecode(pattern)] = c;
-    }
-  } else if (tag == "END") {
-    stream.complete = true;
+  } else {
+    // Result-block records go through the shared parser. Unknown tags are
+    // ignored: a child killed mid-write leaves a torn last line, which must
+    // not poison the supervision loop.
+    wire::ConsumeResultLine(line, stream.block);
   }
-  // Unknown tags are ignored: a child killed mid-write leaves a torn last
-  // line, which must not poison the supervision loop.
 }
 
 ChildStream ReadChildStream(
     int fd, const std::function<bool(const CampaignCheckpoint&)>& on_checkpoint) {
   ChildStream stream;
-  std::string buffer;
+  wire::LineBuffer buffer;
+  std::string line;
   char chunk[4096];
   for (;;) {
     // EINTR-retrying read: a SIGCHLD-interrupted read must not be mistaken
@@ -396,17 +180,10 @@ ChildStream ReadChildStream(
     if (n <= 0) {
       break;  // EOF (child exited) or real error — either way the stream is over
     }
-    buffer.append(chunk, static_cast<size_t>(n));
-    size_t start = 0;
-    for (;;) {
-      const size_t nl = buffer.find('\n', start);
-      if (nl == std::string::npos) {
-        break;
-      }
-      ParseChildLine(buffer.substr(start, nl - start), stream, on_checkpoint);
-      start = nl + 1;
+    buffer.Append(chunk, static_cast<size_t>(n));
+    while (buffer.Next(line)) {
+      ParseChildLine(line, stream, on_checkpoint);
     }
-    buffer.erase(0, start);
   }
   return stream;
 }
@@ -418,6 +195,7 @@ WorkerShardOutcome RunShardInWorkerProcess(const WorkerFuzzerFactory& make_fuzze
                                            CampaignOptions options,
                                            const WorkerOptions& worker_options) {
   WorkerShardOutcome outcome;
+  io::IgnoreSigpipe();
 
   // Wall base for worker-run span placement: every child life is recorded
   // as [fork, waitpid] on this shard-local clock, and a completing child's
@@ -566,12 +344,12 @@ WorkerShardOutcome RunShardInWorkerProcess(const WorkerFuzzerFactory& make_fuzze
     ::waitpid(pid, &status, 0);
     rec.end_ns = shard_timer.ElapsedNs();
 
-    if (stream.complete) {
+    if (stream.block.complete) {
       rec.verdict = "completed";
       runs.push_back(rec);
-      outcome.result = std::move(stream.result);
+      outcome.result = std::move(stream.block.result);
       outcome.result.journal_degraded |= sink_degraded;
-      outcome.coverage = std::move(stream.coverage);
+      outcome.coverage = std::move(stream.block.coverage);
       attach_observability(outcome.result, rec.start_ns);
       return outcome;
     }

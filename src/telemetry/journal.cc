@@ -326,6 +326,35 @@ void WriteChaosMarker(std::ostream& out, const std::string& spec) {
   out << "{\"event\":\"chaos\",\"spec\":\"" << EscapeJson(spec) << "\"}\n";
 }
 
+void WriteLeaseEvent(std::ostream& out, const JournalLeaseEvent& event) {
+  out << "{\"event\":\"lease\",\"action\":\"" << EscapeJson(event.action)
+      << "\",\"unit\":" << event.unit << ",\"worker\":" << event.worker
+      << ",\"cases\":" << event.cases << ",\"unit_digest\":" << event.unit_digest
+      << "}\n";
+}
+
+void WriteWorkerDeathEvent(std::ostream& out, const JournalWorkerDeath& event) {
+  out << "{\"event\":\"worker_death\",\"worker\":" << event.worker
+      << ",\"pid\":" << event.pid
+      << ",\"units_completed\":" << event.units_completed << ",\"reason\":\""
+      << EscapeJson(event.reason) << "\"}\n";
+}
+
+void WriteFleetFinishEvent(std::ostream& out, const JournalFleetFinish& event) {
+  out << "{\"event\":\"fleet_finish\",\"units\":" << event.units
+      << ",\"workers_spawned\":" << event.workers_spawned
+      << ",\"worker_deaths\":" << event.worker_deaths
+      << ",\"leases_granted\":" << event.leases_granted
+      << ",\"leases_reclaimed\":" << event.leases_reclaimed
+      << ",\"leases_stolen\":" << event.leases_stolen
+      << ",\"heartbeats\":" << event.heartbeats
+      << ",\"units_completed\":" << event.units_completed
+      << ",\"units_run_locally\":" << event.units_run_locally
+      << ",\"units_resumed\":" << event.units_resumed
+      << ",\"units_spool_diverged\":" << event.units_spool_diverged
+      << ",\"degraded_to_local\":" << (event.degraded_to_local ? 1 : 0) << "}\n";
+}
+
 void WriteCampaignTail(std::ostream& out, const CampaignResult& result,
                        uint64_t wall_ns) {
   for (size_t i = 0; i < result.shard_statements.size(); ++i) {
@@ -539,6 +568,64 @@ Result<JournalReplay> ReplayJournal(std::istream& in) {
       cp.watchdog_timeouts = static_cast<int>(timeouts);
       cp.unique_bugs = static_cast<int>(bugs);
       replay.checkpoints.push_back(cp);
+    } else if (event == "lease") {
+      JournalLeaseEvent lease;
+      int64_t unit = 0, worker = 0, cases = 0;
+      if (!ExtractString(line, "action", lease.action) ||
+          !ExtractInt(line, "unit", unit) || !ExtractInt(line, "worker", worker) ||
+          !ExtractInt(line, "cases", cases) ||
+          !ExtractUint(line, "unit_digest", lease.unit_digest)) {
+        return InvalidArgument("journal line " + std::to_string(line_no) +
+                               ": malformed lease");
+      }
+      lease.unit = static_cast<int>(unit);
+      lease.worker = static_cast<int>(worker);
+      lease.cases = static_cast<int>(cases);
+      replay.lease_events.push_back(std::move(lease));
+    } else if (event == "worker_death") {
+      JournalWorkerDeath death;
+      int64_t worker = 0, units_completed = 0;
+      if (!ExtractInt(line, "worker", worker) || !ExtractInt(line, "pid", death.pid) ||
+          !ExtractInt(line, "units_completed", units_completed) ||
+          !ExtractString(line, "reason", death.reason)) {
+        return InvalidArgument("journal line " + std::to_string(line_no) +
+                               ": malformed worker_death");
+      }
+      death.worker = static_cast<int>(worker);
+      death.units_completed = static_cast<int>(units_completed);
+      replay.worker_deaths.push_back(std::move(death));
+    } else if (event == "fleet_finish") {
+      JournalFleetFinish& fin = replay.fleet;
+      int64_t v[11] = {};
+      bool degraded = false;
+      if (!ExtractInt(line, "units", v[0]) ||
+          !ExtractInt(line, "workers_spawned", v[1]) ||
+          !ExtractInt(line, "worker_deaths", v[2]) ||
+          !ExtractInt(line, "leases_granted", v[3]) ||
+          !ExtractInt(line, "leases_reclaimed", v[4]) ||
+          !ExtractInt(line, "leases_stolen", v[5]) ||
+          !ExtractInt(line, "heartbeats", v[6]) ||
+          !ExtractInt(line, "units_completed", v[7]) ||
+          !ExtractInt(line, "units_run_locally", v[8]) ||
+          !ExtractInt(line, "units_resumed", v[9]) ||
+          !ExtractInt(line, "units_spool_diverged", v[10]) ||
+          !ExtractBool(line, "degraded_to_local", degraded)) {
+        return InvalidArgument("journal line " + std::to_string(line_no) +
+                               ": malformed fleet_finish");
+      }
+      fin.units = static_cast<int>(v[0]);
+      fin.workers_spawned = static_cast<int>(v[1]);
+      fin.worker_deaths = static_cast<int>(v[2]);
+      fin.leases_granted = static_cast<int>(v[3]);
+      fin.leases_reclaimed = static_cast<int>(v[4]);
+      fin.leases_stolen = static_cast<int>(v[5]);
+      fin.heartbeats = static_cast<int>(v[6]);
+      fin.units_completed = static_cast<int>(v[7]);
+      fin.units_run_locally = static_cast<int>(v[8]);
+      fin.units_resumed = static_cast<int>(v[9]);
+      fin.units_spool_diverged = static_cast<int>(v[10]);
+      fin.degraded_to_local = degraded;
+      replay.fleet_finished = true;
     } else if (event == "campaign_resume") {
       int64_t from_cases = 0;
       if (!ExtractInt(line, "from_cases", from_cases)) {

@@ -27,6 +27,16 @@
 //                    worker_run, announced, bug_id, last_checkpoint_cases,
 //                    and the flushed flight-ring entries (the last entry of
 //                    an announced crash is the crashing statement itself)
+//   lease            fleet coordinator lease transition (streamed live):
+//                    action (grant|complete|reclaim|steal|local|resume),
+//                    unit, worker, cases, unit_digest — the record --resume
+//                    trusts when re-admitting a spooled unit result
+//   worker_death     fleet worker connection lost or process reaped dead:
+//                    worker, pid, units_completed, reason
+//   fleet_finish     fleet campaign totals: units, workers_spawned,
+//                    worker_deaths, leases granted/reclaimed/stolen,
+//                    heartbeats, units completed/local/resumed/diverged,
+//                    degraded_to_local
 //   campaign_finish  totals, coverage, wall_ms
 //
 // ReplayJournal parses the stream back; a replayed journal reconstructs the
@@ -66,6 +76,51 @@ void WriteResumeMarker(std::ostream& out, int from_cases);
 void WriteChaosMarker(std::ostream& out, const std::string& spec);
 // The derived tail: shard_merge, first_witness, campaign_finish.
 void WriteCampaignTail(std::ostream& out, const CampaignResult& result, uint64_t wall_ns);
+
+// One fleet lease transition (written live by the coordinator, replayed on
+// --resume). The structs below are plain data mirrors of the fleet
+// subsystem's state — journal.h cannot depend on src/fleet/ (fleet links
+// telemetry, not the reverse).
+struct JournalLeaseEvent {
+  std::string action;  // grant | complete | reclaim | steal | local | resume
+  int unit = 0;
+  int worker = -1;     // -1 for coordinator-local actions (local/resume)
+  int cases = 0;       // last heartbeat progress at the transition
+  // DigestCampaignResult of the spooled unit result (complete/resume
+  // actions); 0 otherwise. Resume re-admits a spooled unit only when its
+  // recomputed digest matches this journaled value.
+  uint64_t unit_digest = 0;
+};
+
+// One fleet worker_death event: the coordinator lost the worker's connection
+// or reaped its process dead.
+struct JournalWorkerDeath {
+  int worker = 0;
+  int64_t pid = 0;
+  int units_completed = 0;
+  std::string reason;  // e.g. "eof", "signal 9", "lease expired"
+};
+
+// The fleet_finish event's counter snapshot.
+struct JournalFleetFinish {
+  int units = 0;
+  int workers_spawned = 0;
+  int worker_deaths = 0;
+  int leases_granted = 0;
+  int leases_reclaimed = 0;
+  int leases_stolen = 0;
+  int heartbeats = 0;
+  int units_completed = 0;
+  int units_run_locally = 0;
+  int units_resumed = 0;
+  int units_spool_diverged = 0;
+  bool degraded_to_local = false;
+};
+
+// Streaming writers for the fleet coordinator's journal.
+void WriteLeaseEvent(std::ostream& out, const JournalLeaseEvent& event);
+void WriteWorkerDeathEvent(std::ostream& out, const JournalWorkerDeath& event);
+void WriteFleetFinishEvent(std::ostream& out, const JournalFleetFinish& event);
 
 // One first_witness event read back from a journal.
 struct JournalWitness {
@@ -108,6 +163,10 @@ struct JournalReplay {
   std::vector<std::string> chaos_specs;    // chaos markers (fault-injected runs)
   std::vector<trace::CrashFlightRecord> crash_flights;  // journal order
   std::vector<JournalLogicBug> logic_bugs;  // case order (== journal order)
+  std::vector<JournalLeaseEvent> lease_events;   // fleet journals, stream order
+  std::vector<JournalWorkerDeath> worker_deaths; // fleet journals, stream order
+  bool fleet_finished = false;              // fleet_finish event present
+  JournalFleetFinish fleet;                 // valid when fleet_finished
   int statements_executed = 0;
   // Wrong-result oracle totals from campaign_finish (absent — and zero — in
   // journals written before the logic oracles existed).

@@ -2,9 +2,11 @@
 
 #include <errno.h>
 #include <fcntl.h>
+#include <signal.h>
 #include <string.h>
 #include <unistd.h>
 
+#include <mutex>
 #include <string>
 
 #include "src/failpoint/failpoint.h"
@@ -51,6 +53,13 @@ Status RetryingWriter::WriteAll(std::string_view data) {
       continue;
     }
     int err = (n < 0) ? errno : 0;
+    if (n < 0 && err == EPIPE) {
+      // Reader gone (requires IgnoreSigpipe(), or the default disposition
+      // would have killed this process before errno was ever seen). Not a
+      // transient: the peer will not come back, so fail cleanly now.
+      return IoError("write(fd=" + std::to_string(fd_) +
+                     ") failed: peer closed (" + ErrnoText(err) + ")");
+    }
     if (n < 0 && err != EINTR && err != EAGAIN && err != EWOULDBLOCK) {
       return IoError("write(fd=" + std::to_string(fd_) +
                      ") failed: " + ErrnoText(err));
@@ -74,6 +83,13 @@ Status RetryingWriter::WriteLine(std::string_view line) {
   framed.append(line);
   framed.push_back('\n');
   return WriteAll(framed);
+}
+
+void IgnoreSigpipe() {
+  // Forked children inherit both the disposition and the fired once_flag,
+  // so calling this again after fork is a free no-op.
+  static std::once_flag guard;
+  std::call_once(guard, [] { ::signal(SIGPIPE, SIG_IGN); });
 }
 
 int64_t ReadRetrying(int fd, char* buf, uint64_t count) {

@@ -65,6 +65,15 @@ class RetryingWriter {
 // read count, 0 at end-of-stream, -1 with errno set on a real error.
 int64_t ReadRetrying(int fd, char* buf, uint64_t count);
 
+// Ignores SIGPIPE for the calling process (idempotent, call_once-guarded).
+// Every process that writes pipe/socket frames to a peer that can die —
+// forked campaign workers, the fleet coordinator and its workers — must
+// call this before its first frame: with SIGPIPE at SIG_DFL, a peer
+// vanishing mid-frame kills the writer outright; with it ignored, the
+// write fails with EPIPE, which RetryingWriter surfaces as a clean
+// kIoError the supervision/degradation paths already handle.
+void IgnoreSigpipe();
+
 // Atomically replaces `path` with `contents`: writes `path`.tmp.<pid>,
 // fsyncs, closes, renames over `path`. On any failure the tmp file is
 // unlinked and `path` is untouched; the Status names the path and stage.

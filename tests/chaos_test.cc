@@ -64,10 +64,16 @@ TEST_F(ChaosTest, EnumerationOracleHoldsForInProcessSites) {
     EXPECT_TRUE(outcome.ok) << outcome.failpoint << " [" << outcome.site_class
                             << "]: " << outcome.detail;
   }
-  // Worker sites were skipped, everything else actually ran.
+  // Worker sites were skipped and fleet sites delegated (their oracles run
+  // in soft::fleet::RunFleetChaosEnumeration); everything else actually ran.
   for (const ChaosSiteOutcome& outcome : report.outcomes) {
     const bool worker_site = outcome.failpoint.rfind("worker.", 0) == 0;
-    EXPECT_EQ(outcome.ran, !worker_site) << outcome.failpoint;
+    const bool fleet_site = outcome.failpoint.rfind("fleet.", 0) == 0;
+    EXPECT_EQ(outcome.ran, !worker_site && !fleet_site) << outcome.failpoint;
+    if (fleet_site) {
+      EXPECT_NE(outcome.detail.find("RunFleetChaosEnumeration"), std::string::npos)
+          << outcome.failpoint;
+    }
   }
 }
 

@@ -172,5 +172,24 @@ TEST_F(IoTest, WriteFileAtomicFailuresLeaveDestinationUntouched) {
   std::remove(path.c_str());
 }
 
+TEST_F(IoTest, RetryingWriterReportsPeerDeathAsCleanEpipe) {
+  // With SIGPIPE ignored, writing into a pipe whose reader is gone must
+  // surface as a kIoError naming the closed peer — not process death, and
+  // not an infinite retry (EPIPE is persistent, unlike EINTR/EAGAIN).
+  io::IgnoreSigpipe();
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  ::close(fds[0]);
+  io::RetryingWriter writer(fds[1]);
+  // A payload larger than the pipe buffer would block forever if EPIPE were
+  // treated as transient; one write() past the closed reader fails instantly.
+  const Status status = writer.WriteAll(MakePayload());
+  ::close(fds[1]);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_NE(status.message().find("peer closed"), std::string::npos)
+      << status.message();
+}
+
 }  // namespace
 }  // namespace soft

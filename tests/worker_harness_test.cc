@@ -606,6 +606,40 @@ TEST(CheckpointResume, VerificationRejectsForeignJournal) {
   std::remove(journal_path.c_str());
 }
 
+TEST(CheckpointResume, DivergenceReportNamesTheDivergedFields) {
+  // When the verification checkpoint mismatches, the error must say *which*
+  // fields diverged and both values — not just "diverged".
+  const std::string journal_path =
+      testing::TempDir() + "/soft_divergent_journal.ndjson";
+  {
+    std::ofstream out(journal_path, std::ios::trunc);
+    CampaignOptions options;
+    options.seed = 5;
+    options.max_statements = 600;
+    options.checkpoint_every = 100;
+    telemetry::WriteCampaignStart(out, options, "SOFT", "duckdb", 1);
+    CampaignCheckpoint cp;
+    cp.every = 100;
+    cp.cases_completed = 100;
+    cp.rng_fingerprint = 0xDEADBEEF;  // not this campaign's cursor
+    cp.dedup_digest = 0xDEADBEEF;
+    telemetry::WriteCheckpointRecord(out, cp);
+  }
+  const Result<ResumeSpec> spec = LoadResumeSpec(journal_path);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  CampaignOptions base;
+  const Result<CampaignResult> resumed = ResumeSoftCampaign(*spec, base);
+  ASSERT_FALSE(resumed.ok());
+  const std::string& message = resumed.status().message();
+  EXPECT_NE(message.find("rng_fingerprint"), std::string::npos) << message;
+  EXPECT_NE(message.find("dedup_digest"), std::string::npos) << message;
+  EXPECT_NE(message.find("journal=" + std::to_string(0xDEADBEEFull)),
+            std::string::npos)
+      << message;
+  EXPECT_NE(message.find("replay="), std::string::npos) << message;
+  std::remove(journal_path.c_str());
+}
+
 TEST(CheckpointResume, MultiShardJournalsAreRejected) {
   const std::string journal_path =
       testing::TempDir() + "/soft_sharded_journal.ndjson";
